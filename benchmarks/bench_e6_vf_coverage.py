@@ -1,0 +1,18 @@
+"""E6: test coverage across voltage/frequency levels (TC'16 extension).
+
+The rotating level policy covers every DVFS level of the ladder during
+the campaign; the nominal-only policy leaves low-voltage corners dark.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_e6_vf_coverage
+
+
+def test_e6_vf_coverage(benchmark):
+    result = run_once(benchmark, run_e6_vf_coverage, horizon_us=60_000.0)
+    assert result.scalars["levels_covered_rotate"] == 8.0
+    assert (
+        result.scalars["levels_covered_rotate"]
+        > result.scalars["levels_covered_nominal"]
+    )

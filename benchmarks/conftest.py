@@ -1,0 +1,17 @@
+"""Benchmark-harness helpers.
+
+Every benchmark runs its experiment exactly once via ``benchmark.pedantic``
+(a full experiment is many simulations already; repeating it buys nothing),
+prints the reconstructed paper table/figure, and asserts the claim the
+experiment validates so a regression in the reproduction fails the bench.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, runner, **kwargs):
+    """Run ``runner(**kwargs)`` once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(runner, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

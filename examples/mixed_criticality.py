@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Mixed-criticality scheduling: hard/soft/no real-time priorities.
+
+The ICCD'14 power-management substrate "distinguishes applications with
+hard Real-Time, soft Real-Time and no Real-Time constraints and treats
+them with appropriate priorities".  This script offers the chip a
+three-class mix and compares plain FIFO service with priority service:
+the queue is served in class order, and the PID's fine-grained DVFS
+favours real-time cores when distributing the power budget.
+
+Run:  python examples/mixed_criticality.py
+"""
+
+from dataclasses import replace
+
+from repro import SystemConfig, run_system
+from repro.metrics import format_table
+from repro.workload.scenarios import scenario_config_kwargs
+
+
+def main() -> None:
+    base = replace(
+        SystemConfig(horizon_us=60_000.0, seed=11),
+        **scenario_config_kwargs("mixed-criticality"),
+    )
+    rows = []
+    for enabled in (False, True):
+        result = run_system(replace(base, rt_priorities=enabled))
+        waits = result.metrics.mean_waiting_by_class()
+        rows.append(
+            [
+                "priorities" if enabled else "fifo",
+                waits.get("hard-rt", float("nan")),
+                waits.get("soft-rt", float("nan")),
+                waits.get("best-effort", float("nan")),
+                result.throughput_ops_per_us,
+                result.metrics.audit.violation_rate,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "queueing", "hard-rt wait (us)", "soft-rt wait (us)",
+                "best-effort wait (us)", "throughput", "violations",
+            ],
+            rows,
+            precision=1,
+            title="mixed-criticality service (30% hard-rt, 40% soft-rt, 30% best-effort)",
+        )
+    )
+    print()
+    fifo, prio = rows
+    print(
+        f"=> hard real-time waiting: {fifo[1]:.0f} us under FIFO vs "
+        f"{prio[1]:.0f} us with priorities "
+        f"({fifo[1] / max(prio[1], 1e-9):.0f}x better), "
+        "with the TDP still never violated"
+    )
+
+
+if __name__ == "__main__":
+    main()

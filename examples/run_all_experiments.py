@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Regenerate every reconstructed table/figure of the paper (E1..E9).
+
+This is the one-stop reproduction driver: it runs each experiment at full
+scale and prints the table/series the paper reported.  Expect a few
+minutes of wall clock.
+
+Run:  python examples/run_all_experiments.py [E2 E9 ...]
+"""
+
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    requested = sys.argv[1:] or sorted(EXPERIMENTS)
+    for experiment_id in requested:
+        start = time.time()
+        result = run_experiment(experiment_id)
+        elapsed = time.time() - start
+        print(result.render())
+        print(f"({elapsed:.1f} s)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro: reproduction of "Power-aware online testing of manycore systems
+in the dark silicon era" (Haghbayan et al., DATE 2015).
+
+Public API (the pieces a downstream user composes):
+
+>>> from repro import SystemConfig, run_system
+>>> result = run_system(SystemConfig(horizon_us=20_000, seed=7))
+>>> result.summary()["tests_completed"] >= 0
+True
+"""
+
+from repro.core import (
+    CriticalityParameters,
+    ManycoreSystem,
+    PowerAwareTestScheduler,
+    SimulationResult,
+    SystemConfig,
+    TestAwareUtilizationMapper,
+    TestCriticality,
+    run_system,
+)
+from repro.platform import Chip, CoreState, get_node, node_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chip",
+    "CoreState",
+    "CriticalityParameters",
+    "ManycoreSystem",
+    "PowerAwareTestScheduler",
+    "SimulationResult",
+    "SystemConfig",
+    "TestAwareUtilizationMapper",
+    "TestCriticality",
+    "get_node",
+    "node_names",
+    "run_system",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Aging and fault-injection substrate."""
+
+from repro.aging.faults import FaultInjector, FaultParameters, FaultRecord
+from repro.aging.lifetime import LifetimeAnalyzer, LifetimeParameters, LifetimeReport
+from repro.aging.model import AgingModel, AgingParameters
+
+__all__ = [
+    "AgingModel",
+    "AgingParameters",
+    "FaultInjector",
+    "FaultParameters",
+    "FaultRecord",
+    "LifetimeAnalyzer",
+    "LifetimeParameters",
+    "LifetimeReport",
+]

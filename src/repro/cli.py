@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``        — run one simulation and print its summary
+* ``experiment`` — run experiment(s) by id (E1..E10, A1..A6)
+* ``sweep``      — sweep one config field over values, print a row per run
+* ``list``       — show available experiments, scenarios, nodes, policies
+
+The CLI is a thin shell over the library: everything it does is a few
+lines of :mod:`repro.core.system` / :mod:`repro.experiments` calls, and
+``main(argv)`` returns an exit code so it is unit-testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config_io import load_config, save_config
+from repro.core.system import SystemConfig, run_system
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.metrics.export import trace_to_csv, write_text
+from repro.metrics.report import format_table
+from repro.platform.technology import node_names
+from repro.workload.scenarios import SCENARIOS, scenario_config_kwargs
+
+_POLICY_CHOICES = {
+    "mapper": ("contiguous", "scatter", "random", "mappro", "test-aware"),
+    "power_policy": ("pid", "tsp", "naive", "worst-case", "none"),
+    "test_policy": ("power-aware", "none", "unaware", "round-robin"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Power-aware online testing of manycore systems in the dark "
+            "silicon era (DATE 2015) - reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("--config", help="JSON config file to start from")
+    run_p.add_argument("--scenario", choices=sorted(SCENARIOS))
+    run_p.add_argument("--node", choices=node_names())
+    run_p.add_argument("--tdp-w", type=float)
+    run_p.add_argument("--horizon-ms", type=float)
+    run_p.add_argument("--rate-per-ms", type=float)
+    run_p.add_argument("--seed", type=int)
+    run_p.add_argument("--mapper", choices=_POLICY_CHOICES["mapper"])
+    run_p.add_argument("--power-policy", choices=_POLICY_CHOICES["power_policy"])
+    run_p.add_argument("--test-policy", choices=_POLICY_CHOICES["test_policy"])
+    run_p.add_argument("--thermal", action="store_true", help="enable RC thermal model")
+    run_p.add_argument("--variation", action="store_true", help="enable process variation")
+    run_p.add_argument("--save-config", help="write the effective config JSON here")
+    run_p.add_argument("--export-trace", help="write the power/count traces as CSV here")
+
+    exp_p = sub.add_parser("experiment", help="run experiments by id")
+    exp_p.add_argument("ids", nargs="+", help="experiment ids, e.g. E2 E9 A4")
+    exp_p.add_argument("--horizon-us", type=float, help="override the horizon")
+
+    sweep_p = sub.add_parser("sweep", help="sweep one config field")
+    sweep_p.add_argument("field", help="SystemConfig field, e.g. tdp_w")
+    sweep_p.add_argument("values", help="comma-separated values, e.g. 40,60,80")
+    sweep_p.add_argument("--horizon-ms", type=float, default=30.0)
+    sweep_p.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="show experiments, scenarios, nodes, policies")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _effective_config(args: argparse.Namespace) -> SystemConfig:
+    config = load_config(args.config) if args.config else SystemConfig()
+    updates = {}
+    if args.scenario:
+        updates.update(scenario_config_kwargs(args.scenario))
+    if args.node:
+        updates["node_name"] = args.node
+    if args.tdp_w is not None:
+        updates["tdp_w"] = args.tdp_w
+    if args.horizon_ms is not None:
+        updates["horizon_us"] = args.horizon_ms * 1000.0
+    if args.rate_per_ms is not None:
+        updates["arrival_rate_per_ms"] = args.rate_per_ms
+    if args.seed is not None:
+        updates["seed"] = args.seed
+    if args.mapper:
+        updates["mapper"] = args.mapper
+    if args.power_policy:
+        updates["power_policy"] = args.power_policy
+    if args.test_policy:
+        updates["test_policy"] = args.test_policy
+    if args.thermal:
+        updates["thermal_enabled"] = True
+    if args.variation:
+        updates["variation_enabled"] = True
+    if updates:
+        config = dataclasses.replace(config, **updates)
+    return config
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _effective_config(args)
+    if args.save_config:
+        save_config(config, args.save_config)
+    result = run_system(config)
+    rows = [[key, value] for key, value in result.summary().items()]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            precision=4,
+            title=(
+                f"{config.width}x{config.height} @ {config.node_name}, "
+                f"TDP {config.tdp_w:g} W, {config.horizon_us / 1000:g} ms, "
+                f"mapper={result.mapper_name}, test={result.scheduler_name}, "
+                f"power={result.power_policy_name}"
+            ),
+        )
+    )
+    if result.peak_temperature_c is not None:
+        print(f"peak temperature: {result.peak_temperature_c:.1f} C")
+    if args.export_trace:
+        write_text(args.export_trace, trace_to_csv(result.metrics.trace))
+        print(f"trace written to {args.export_trace}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    unknown = [i for i in args.ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for experiment_id in args.ids:
+        kwargs = {}
+        if args.horizon_us is not None:
+            kwargs["horizon_us"] = args.horizon_us
+        result = run_experiment(experiment_id, **kwargs)
+        print(result.render())
+        print()
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    field_names = {f.name: f for f in dataclasses.fields(SystemConfig)}
+    if args.field not in field_names:
+        print(f"unknown config field {args.field!r}", file=sys.stderr)
+        return 2
+    raw_values = [v.strip() for v in args.values.split(",") if v.strip()]
+    if not raw_values:
+        print("no sweep values given", file=sys.stderr)
+        return 2
+
+    def coerce(raw: str):
+        for cast in (int, float):
+            try:
+                return cast(raw)
+            except ValueError:
+                continue
+        if raw in ("true", "false"):
+            return raw == "true"
+        return raw
+
+    base = SystemConfig(
+        horizon_us=args.horizon_ms * 1000.0, seed=args.seed
+    )
+    rows = []
+    for raw in raw_values:
+        value = coerce(raw)
+        config = dataclasses.replace(base, **{args.field: value})
+        result = run_system(config)
+        summary = result.summary()
+        rows.append(
+            [
+                value,
+                summary["throughput_ops_per_us"],
+                summary["avg_power_w"],
+                summary["budget_violation_rate"],
+                int(summary["tests_completed"]),
+            ]
+        )
+    print(
+        format_table(
+            [args.field, "throughput_ops_per_us", "avg_power_w",
+             "violation_rate", "tests"],
+            rows,
+            title=f"sweep of {args.field}",
+        )
+    )
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    print("scenarios:  ", ", ".join(sorted(SCENARIOS)))
+    print("nodes:      ", ", ".join(node_names()))
+    for field, choices in _POLICY_CHOICES.items():
+        print(f"{field + ':':12s}", ", ".join(choices))
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "experiment": cmd_experiment,
+    "sweep": cmd_sweep,
+    "list": cmd_list,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The paper's contribution: criticality metric, power-aware test
+scheduler, test-aware mapper, execution engine and the integrated system."""
+
+from repro.core.criticality import CriticalityParameters, TestCriticality
+from repro.core.executor import ExecutionEngine, TaskExecution
+from repro.core.mapping import TestAwareUtilizationMapper
+from repro.core.scheduler import PowerAwareTestScheduler
+from repro.core.system import (
+    ManycoreSystem,
+    SimulationResult,
+    SystemConfig,
+    run_system,
+)
+
+__all__ = [
+    "CriticalityParameters",
+    "ExecutionEngine",
+    "ManycoreSystem",
+    "PowerAwareTestScheduler",
+    "SimulationResult",
+    "SystemConfig",
+    "TaskExecution",
+    "TestAwareUtilizationMapper",
+    "TestCriticality",
+    "run_system",
+]

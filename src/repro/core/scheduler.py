@@ -1,0 +1,137 @@
+"""The proposed power-aware online test scheduler (DATE'15, Sec. "method").
+
+Per control epoch the scheduler:
+
+1. computes the chip's current power headroom under the guarded TDP cap
+   (the "temporarily available power budget" of the abstract);
+2. collects the idle, unowned cores whose test criticality crossed the
+   threshold and ranks them most-critical-first;
+3. admits test sessions while they fit in the headroom.  The V/F level of
+   each session is the core's least-recently-tested level (rotating corner
+   coverage, the TC'16 extension); when the preferred level's power does
+   not fit, the scheduler *downgrades* the session towards near-threshold
+   levels — a cheap test now beats no test — and skips the core only when
+   even the cheapest level does not fit;
+4. on a budget emergency (measured power above the hard cap, e.g. because
+   a workload burst landed right after tests were admitted) it aborts
+   running sessions, youngest first, until the chip fits again.  Workload
+   is never throttled on behalf of testing — that is the non-intrusiveness
+   property that keeps the throughput penalty under 1%.
+
+The scheduler also caps concurrent sessions (``max_concurrent``) so the
+test campaign cannot monopolise the chip even under very light load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.criticality import CriticalityParameters, TestCriticality
+from repro.platform.chip import Chip
+from repro.platform.core import Core
+from repro.platform.dvfs import VFLevel
+from repro.power.budget import PowerBudget
+from repro.power.meter import PowerMeter
+from repro.testing.runner import TestRunner
+from repro.testing.schedulers import TestSchedulerBase
+
+
+class PowerAwareTestScheduler(TestSchedulerBase):
+    """Criticality-ranked, budget-honouring, non-intrusive test scheduling."""
+
+    name = "power-aware"
+    preemptable = True
+
+    def __init__(
+        self,
+        chip: Chip,
+        runner: TestRunner,
+        meter: PowerMeter,
+        budget: PowerBudget,
+        criticality: Optional[TestCriticality] = None,
+        min_interval_us: float = 2000.0,
+        level_policy: str = "rotate",
+        max_concurrent: int = 8,
+        reserve_w: float = 0.0,
+    ) -> None:
+        super().__init__(chip, runner, min_interval_us, level_policy)
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if reserve_w < 0:
+            raise ValueError("reserve_w must be non-negative")
+        self.meter = meter
+        self.budget = budget
+        self.criticality = criticality or TestCriticality(CriticalityParameters())
+        self.max_concurrent = max_concurrent
+        self.reserve_w = reserve_w
+        self.skipped_no_budget = 0
+        self.downgraded_levels = 0
+        self.emergency_aborts = 0
+
+    # ------------------------------------------------------------------
+    # Candidate selection
+    # ------------------------------------------------------------------
+    def candidates(self, now: float) -> List[Core]:
+        """Due cores (criticality over threshold), most critical first."""
+        due = [
+            core
+            for core in self.chip.idle_cores()
+            if core.owner_app is None
+            and now - core.last_test_end >= self.min_interval_us
+            and self.criticality.is_due(core, now)
+        ]
+        return self.criticality.rank(due, now)
+
+    def affordable_level(self, core: Core, now: float, headroom: float) -> Optional[VFLevel]:
+        """Preferred level, downgraded until its session power fits."""
+        preferred = self.pick_level(core, now)
+        index = preferred.index
+        while index >= 0:
+            level = self.chip.vf_table[index]
+            if self.runner.estimated_power(level) <= headroom:
+                if index != preferred.index:
+                    self.downgraded_levels += 1
+                return level
+            index -= 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def tick(self, now: float, dt: float) -> None:
+        measured = self.meter.chip_power()
+        if measured > self.budget.cap:
+            self._emergency(measured)
+            return
+        headroom = self.budget.guarded_cap - measured - self.reserve_w
+        if headroom <= 0:
+            return
+        slots = self.max_concurrent - len(self.runner.active_sessions())
+        if slots <= 0:
+            return
+        for core in self.candidates(now):
+            if slots <= 0 or headroom <= 0:
+                break
+            level = self.affordable_level(core, now, headroom)
+            if level is None:
+                self.skipped_no_budget += 1
+                continue
+            cost = self.runner.estimated_power(level)
+            self.runner.start(core, level)
+            headroom -= cost
+            slots -= 1
+
+    def _emergency(self, measured: float) -> None:
+        """Abort sessions, youngest first, until back under the hard cap."""
+        sessions = sorted(
+            self.runner.active_sessions(),
+            key=lambda s: s.started_at,
+            reverse=True,
+        )
+        for session in sessions:
+            if measured <= self.budget.cap:
+                break
+            cost = self.runner.estimated_power(session.level)
+            self.runner.abort(session.core)
+            self.emergency_aborts += 1
+            measured -= cost

@@ -1,0 +1,507 @@
+"""The integrated power-aware online-testing manycore system.
+
+:class:`ManycoreSystem` wires every substrate together on the DES kernel:
+
+* a mesh :class:`~repro.platform.chip.Chip` at a technology node with TDP;
+* the :class:`~repro.core.executor.ExecutionEngine` running task graphs;
+* a power manager (PID budgeting by default — the ICCD'14 substrate);
+* a runtime mapper (the proposed test-aware mapper or a baseline);
+* a test scheduler (the proposed power-aware scheduler or a baseline);
+* aging accrual and optional fault injection;
+* a metrics collector sampling every control epoch.
+
+The control loop runs every ``epoch_us``: fault injection → power manager →
+test scheduler → mapping attempt → metric sampling.  Arrivals and core
+releases additionally trigger mapping attempts immediately, so mapping
+latency is not quantised to the epoch.
+
+:func:`build_system`/:meth:`ManycoreSystem.run` is the public entry point
+used by the examples and every experiment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.aging.faults import FaultInjector, FaultParameters, FaultRecord
+from repro.aging.model import AgingModel, AgingParameters
+from repro.core.criticality import CriticalityParameters, TestCriticality
+from repro.core.executor import ExecutionEngine
+from repro.core.mapping import TestAwareUtilizationMapper
+from repro.core.scheduler import PowerAwareTestScheduler
+from repro.mapping.base import MappingContext, RuntimeMapper
+from repro.mapping.baselines import ContiguousMapper, RandomFreeMapper, ScatterMapper
+from repro.mapping.mappro import MapProMapper
+from repro.metrics.collectors import MetricsCollector
+from repro.noc.model import NocModel, NocParameters
+from repro.noc.queued import QueuedNocModel
+from repro.noc.topology import Mesh
+from repro.platform.chip import Chip
+from repro.platform.thermal import ThermalModel, ThermalParameters
+from repro.platform.variation import VariationModel, VariationParameters
+from repro.power.budget import PowerBudget
+from repro.power.manager import PowerManager, make_power_manager
+from repro.power.meter import PowerMeter
+from repro.sim.engine import Simulator
+from repro.sim.events import PRIORITY_CONTROL
+from repro.sim.rng import StreamRegistry
+from repro.testing.runner import TestRunner, TestStats
+from repro.testing.sbst import SBSTLibrary, default_library
+from repro.testing.schedulers import (
+    NoTestScheduler,
+    PowerUnawareTestScheduler,
+    RoundRobinTestScheduler,
+    TestSchedulerBase,
+)
+from repro.workload.application import ApplicationInstance
+from repro.workload.arrivals import (
+    Arrival,
+    BurstyArrivalProcess,
+    PoissonArrivalProcess,
+)
+from repro.workload.generator import PROFILE_PRESETS, ApplicationProfile
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything that defines one simulation run."""
+
+    # Platform
+    width: int = 8
+    height: int = 8
+    node_name: str = "16nm"
+    tdp_w: float = 80.0
+    n_vf_levels: int = 8
+    guard_fraction: float = 0.02
+    # Control
+    epoch_us: float = 100.0
+    dvfs_transition_us: float = 0.0
+    noc_mode: str = "analytic"          # analytic | queued
+    horizon_us: float = 100_000.0
+    seed: int = 1
+    # Workload
+    arrival_rate_per_ms: float = 6.0
+    profile_names: Tuple[str, ...] = ("small", "medium", "large")
+    profile_weights: Tuple[float, ...] = (0.40, 0.45, 0.15)
+    bursty: bool = False
+    # Policies
+    mapper: str = "contiguous"          # contiguous | scatter | random | mappro | test-aware
+    #: Mixed-criticality scheduling (ICCD'14): serve the queue in
+    #: real-time-class priority order and bias DVFS towards RT cores.
+    rt_priorities: bool = False
+    power_policy: str = "pid"           # pid | tsp | naive | worst-case | none
+    test_policy: str = "power-aware"    # power-aware | none | unaware | round-robin
+    test_preemption: str = "auto"       # auto | abort | reserve
+    # Testing knobs
+    min_test_interval_us: float = 2500.0
+    test_level_policy: str = "rotate"   # rotate | nominal
+    max_concurrent_tests: int = 8
+    sbst_scale: float = 1.0
+    #: Resume aborted SBST sessions from a checkpoint (same core + level)
+    #: instead of restarting the suite from scratch.
+    test_checkpointing: bool = False
+    criticality: CriticalityParameters = field(default_factory=CriticalityParameters)
+    # Mapper knobs (test-aware)
+    utilization_weight: float = 2.0
+    criticality_weight: float = 2.0
+    utilization_window_us: float = 2000.0
+    # Reliability knobs
+    aging: AgingParameters = field(default_factory=AgingParameters)
+    fault_hazard_per_us: float = 0.0
+    fault_stress_scale: float = 50.0
+    # Platform realism knobs (off by default: the baseline evaluation)
+    thermal_enabled: bool = False
+    thermal: ThermalParameters = field(default_factory=ThermalParameters)
+    thermal_test_margin_c: float = 5.0
+    variation_enabled: bool = False
+    variation: VariationParameters = field(default_factory=VariationParameters)
+
+    def __post_init__(self) -> None:
+        if self.epoch_us <= 0 or self.horizon_us <= 0:
+            raise ValueError("epoch and horizon must be positive")
+        if len(self.profile_names) != len(self.profile_weights):
+            raise ValueError("profile names and weights must align")
+        if self.test_preemption not in ("auto", "abort", "reserve"):
+            raise ValueError(f"unknown preemption policy {self.test_preemption!r}")
+
+    def profiles(self) -> List[ApplicationProfile]:
+        return [PROFILE_PRESETS[name] for name in self.profile_names]
+
+
+@dataclass
+class SimulationResult:
+    """Bundle of everything a finished run produced."""
+
+    config: SystemConfig
+    horizon_us: float
+    metrics: MetricsCollector
+    test_stats: TestStats
+    fault_records: List[FaultRecord]
+    scheduler_name: str
+    mapper_name: str
+    power_policy_name: str
+    per_core_busy_us: Dict[int, float]
+    per_core_age_stress: Dict[int, float]
+    per_core_tests: Dict[int, int]
+    peak_temperature_c: Optional[float]
+    per_level_tests: Dict[int, int]
+    noc_avg_hops: float
+    events_fired: int
+    emergency_aborts: int = 0
+    skipped_no_budget: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput_ops_per_us(self) -> float:
+        return self.metrics.throughput_ops_per_us(self.horizon_us)
+
+    @property
+    def apps_completed(self) -> int:
+        return self.metrics.apps_completed
+
+    @property
+    def tests_completed(self) -> int:
+        return self.test_stats.completed
+
+    @property
+    def test_power_share(self) -> float:
+        return self.metrics.test_power_share(self.horizon_us)
+
+    def mean_detection_latency_us(self) -> Optional[float]:
+        latencies = [
+            r.detection_latency() for r in self.fault_records if r.detected
+        ]
+        if not latencies:
+            return None
+        return sum(latencies) / len(latencies)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat scalar summary (the rows experiments print)."""
+        waiting = self.metrics.mean_waiting_time()
+        return {
+            "apps_completed": float(self.metrics.apps_completed),
+            "tasks_completed": float(self.metrics.tasks_completed),
+            "throughput_ops_per_us": self.throughput_ops_per_us,
+            "mean_waiting_us": waiting if waiting is not None else 0.0,
+            "avg_power_w": self.metrics.average_power(self.horizon_us),
+            "budget_violation_rate": self.metrics.audit.violation_rate,
+            "tests_completed": float(self.test_stats.completed),
+            "tests_aborted": float(self.test_stats.aborted),
+            "test_power_share": self.test_power_share,
+            "faults_injected": float(len(self.fault_records)),
+            "faults_detected": float(
+                sum(1 for r in self.fault_records if r.detected)
+            ),
+        }
+
+
+class ManycoreSystem:
+    """One fully-wired simulation instance."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.streams = StreamRegistry(config.seed)
+        self.chip = Chip.build(
+            config.width,
+            config.height,
+            config.node_name,
+            tdp_w=config.tdp_w,
+            n_vf_levels=config.n_vf_levels,
+        )
+        self.mesh = Mesh(config.width, config.height)
+        if config.noc_mode == "analytic":
+            self.noc = NocModel(self.mesh, NocParameters())
+        elif config.noc_mode == "queued":
+            self.noc = QueuedNocModel(self.mesh, NocParameters())
+        else:
+            raise ValueError(f"unknown noc_mode {config.noc_mode!r}")
+        self.meter = PowerMeter(self.chip)
+        self.budget = PowerBudget(config.tdp_w, config.guard_fraction)
+        self.aging = AgingModel(self.chip.node, config.aging)
+        self.injector = FaultInjector(
+            self.chip,
+            FaultParameters(
+                base_hazard_per_us=config.fault_hazard_per_us,
+                stress_scale=config.fault_stress_scale,
+            ),
+            self.streams.stream("faults"),
+        )
+        self.library: SBSTLibrary = default_library(config.sbst_scale)
+        if config.variation_enabled:
+            VariationModel(config.variation, self.streams.stream("variation")).apply(
+                self.chip
+            )
+        self.thermal: Optional[ThermalModel] = (
+            ThermalModel(self.chip, config.thermal) if config.thermal_enabled else None
+        )
+        self.metrics = MetricsCollector(self.budget)
+        self.executor = ExecutionEngine(
+            self.sim,
+            self.chip,
+            self.noc,
+            self.meter,
+            self.aging,
+            dvfs_transition_us=config.dvfs_transition_us,
+        )
+        self.runner = TestRunner(
+            self.sim,
+            self.chip,
+            self.meter,
+            self.library,
+            self.aging,
+            self.injector,
+            checkpointing=config.test_checkpointing,
+        )
+        self.criticality = TestCriticality(config.criticality)
+        self.power_manager = self._build_power_manager()
+        self.mapper = self._build_mapper()
+        self.test_scheduler = self._build_test_scheduler()
+        self.queue: Deque[ApplicationInstance] = deque()
+        self._app_counter = 0
+        self._wire()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_power_manager(self) -> PowerManager:
+        manager = make_power_manager(
+            self.config.power_policy, self.chip, self.meter, self.budget
+        )
+        manager.bind_actuator(self.executor.change_level)
+        if self.config.rt_priorities:
+            manager.rt_rank = self._rt_rank_of_core
+        return manager
+
+    def _rt_rank_of_core(self, core) -> int:
+        """Priority rank of the work on ``core`` (0 = hard-rt)."""
+        from repro.workload.generator import RT_CLASSES
+
+        execution = self.executor.execution_on(core)
+        if execution is None:
+            return RT_CLASSES["best-effort"]
+        return RT_CLASSES.get(execution.app.graph.rt_class, 2)
+
+    def _build_mapper(self) -> RuntimeMapper:
+        name = self.config.mapper
+        if name == "contiguous":
+            return ContiguousMapper()
+        if name == "scatter":
+            return ScatterMapper()
+        if name == "random":
+            return RandomFreeMapper(self.streams.stream("mapper"))
+        if name == "mappro":
+            return MapProMapper()
+        if name == "test-aware":
+            return TestAwareUtilizationMapper(
+                self.criticality,
+                utilization_weight=self.config.utilization_weight,
+                criticality_weight=self.config.criticality_weight,
+                utilization_window_us=self.config.utilization_window_us,
+            )
+        raise ValueError(f"unknown mapper {name!r}")
+
+    def _build_test_scheduler(self) -> TestSchedulerBase:
+        name = self.config.test_policy
+        common = dict(
+            min_interval_us=self.config.min_test_interval_us,
+            level_policy=self.config.test_level_policy,
+        )
+        if name == "none":
+            return NoTestScheduler(self.chip, self.runner, **common)
+        if name == "unaware":
+            return PowerUnawareTestScheduler(self.chip, self.runner, **common)
+        if name == "round-robin":
+            return RoundRobinTestScheduler(
+                self.chip,
+                self.runner,
+                max_concurrent=self.config.max_concurrent_tests,
+                **common,
+            )
+        if name == "power-aware":
+            return PowerAwareTestScheduler(
+                self.chip,
+                self.runner,
+                self.meter,
+                self.budget,
+                criticality=self.criticality,
+                max_concurrent=self.config.max_concurrent_tests,
+                **common,
+            )
+        raise ValueError(f"unknown test policy {name!r}")
+
+    def _wire(self) -> None:
+        self.executor.start_level_provider = self.power_manager.start_level_for
+        self.executor.on_task_finished.append(
+            lambda task, now: self.metrics.on_task_finished(task.ops, now)
+        )
+        self.executor.on_app_finished.append(self.metrics.on_app_finished)
+        self.executor.on_cores_freed.append(lambda now: self._try_map())
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+    def generate_arrivals(self) -> List[Arrival]:
+        cls = BurstyArrivalProcess if self.config.bursty else PoissonArrivalProcess
+        process = cls(
+            self.config.arrival_rate_per_ms,
+            self.config.profiles(),
+            list(self.config.profile_weights),
+            rng=self.streams.stream("workload"),
+        )
+        return process.generate(self.config.horizon_us)
+
+    def _on_arrival(self, arrival: Arrival) -> None:
+        self._app_counter += 1
+        app = arrival.instantiate(self._app_counter)
+        self.metrics.on_app_arrival(app, self.sim.now)
+        self.queue.append(app)
+        self._try_map()
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def preemption_policy(self) -> str:
+        """Resolved test-preemption policy.
+
+        ``auto`` follows the scheduler: the proposed scheduler's sessions
+        are preemptable (non-intrusive testing), the baselines hold their
+        core until the session finishes (intrusive, the classic behaviour).
+        """
+        if self.config.test_preemption != "auto":
+            return self.config.test_preemption
+        return "abort" if self.test_scheduler.preemptable else "reserve"
+
+    def _available_cores(self):
+        available = self.chip.free_cores()
+        if self.preemption_policy() == "abort":
+            available = available + [
+                c for c in self.chip.testing_cores() if c.owner_app is None
+            ]
+        slots = self.power_manager.spare_core_slots()
+        if slots is not None and len(available) > slots:
+            # Admission-limited policy (worst-case TDP scheduling): only the
+            # first `slots` cores may be woken this mapping round.
+            available = available[:slots]
+        return available
+
+    def _next_in_queue(self) -> Optional[ApplicationInstance]:
+        """Head-of-queue under the active queueing discipline.
+
+        FIFO by default; with ``rt_priorities`` the queue is served in
+        real-time-class priority order (arrival time as the tie-break),
+        the ICCD'14 mixed-criticality treatment.
+        """
+        if not self.queue:
+            return None
+        if not self.config.rt_priorities:
+            return self.queue[0]
+        from repro.workload.generator import RT_CLASSES
+
+        return min(
+            self.queue,
+            key=lambda app: (
+                RT_CLASSES.get(app.graph.rt_class, 2),
+                app.arrival_time,
+                app.app_id,
+            ),
+        )
+
+    def _try_map(self) -> None:
+        while self.queue:
+            app = self._next_in_queue()
+            ctx = MappingContext(
+                self.chip, self.mesh, self.sim.now, self._available_cores()
+            )
+            placement = self.mapper.map_application(app, ctx)
+            if placement is None:
+                return
+            for core_id in placement.values():
+                core = self.chip.core(core_id)
+                if core.is_testing():
+                    self.runner.abort(core)
+            self.queue.remove(app)
+            self.executor.admit(app, placement)
+            self.metrics.on_app_admitted(app, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _control_tick(self) -> None:
+        now = self.sim.now
+        dt = self.config.epoch_us
+        self.injector.tick(now, dt)
+        if self.thermal is not None:
+            self.thermal.step(
+                {core.core_id: self.meter.core_power(core) for core in self.chip},
+                dt,
+            )
+            self.metrics.trace.record(
+                "thermal.max_c", now, self.thermal.hottest()
+            )
+        self.power_manager.tick(now, dt)
+        if (
+            self.thermal is None
+            or self.thermal.headroom_c() >= self.config.thermal_test_margin_c
+        ):
+            # Thermal guard: on a chip already near the junction limit, the
+            # high-toggle SBST sessions are deferred until it cools.
+            self.test_scheduler.tick(now, dt)
+        self._try_map()
+        self.metrics.sample_power(now, self.meter.breakdown())
+        self.metrics.sample_counts(
+            now,
+            busy=len(self.chip.busy_cores()),
+            testing=len(self.chip.testing_cores()),
+            idle=len(self.chip.idle_cores()),
+            queued=len(self.queue),
+        )
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        for arrival in self.generate_arrivals():
+            self.sim.at(arrival.time, self._on_arrival, arrival)
+        self.sim.every(
+            self.config.epoch_us, self._control_tick, priority=PRIORITY_CONTROL
+        )
+        self.sim.run(until=self.config.horizon_us)
+        return self._collect_result()
+
+    def _collect_result(self) -> SimulationResult:
+        scheduler = self.test_scheduler
+        emergency = getattr(scheduler, "emergency_aborts", 0)
+        skipped = getattr(scheduler, "skipped_no_budget", 0)
+        return SimulationResult(
+            config=self.config,
+            horizon_us=self.config.horizon_us,
+            metrics=self.metrics,
+            test_stats=self.runner.stats,
+            fault_records=list(self.injector.records),
+            scheduler_name=scheduler.name,
+            mapper_name=self.mapper.name,
+            power_policy_name=self.power_manager.name,
+            per_core_busy_us={
+                c.core_id: c.busy_window.total_busy for c in self.chip
+            },
+            per_core_age_stress={
+                c.core_id: c.age_stress for c in self.chip
+            },
+            per_core_tests=dict(self.runner.stats.per_core_completed),
+            peak_temperature_c=(
+                self.thermal.peak_seen_c if self.thermal is not None else None
+            ),
+            per_level_tests=dict(self.runner.stats.per_level_completed),
+            noc_avg_hops=self.noc.average_hops(),
+            events_fired=self.sim.events_fired,
+            emergency_aborts=emergency,
+            skipped_no_budget=skipped,
+        )
+
+
+def run_system(config: SystemConfig) -> SimulationResult:
+    """Build and run one simulation (the one-call public entry point)."""
+    return ManycoreSystem(config).run()

@@ -1,0 +1,23 @@
+"""Runtime-mapping substrate: interface, shared machinery, baselines."""
+
+from repro.mapping.base import (
+    MappingContext,
+    RuntimeMapper,
+    assign_tasks_near,
+    pick_first_node,
+    square_region_score,
+)
+from repro.mapping.baselines import ContiguousMapper, RandomFreeMapper, ScatterMapper
+from repro.mapping.mappro import MapProMapper
+
+__all__ = [
+    "ContiguousMapper",
+    "MapProMapper",
+    "MappingContext",
+    "RandomFreeMapper",
+    "RuntimeMapper",
+    "ScatterMapper",
+    "assign_tasks_near",
+    "pick_first_node",
+    "square_region_score",
+]

@@ -1,0 +1,139 @@
+"""Runtime-mapper interface and shared placement machinery.
+
+A runtime mapper receives the head-of-queue application instance and the
+current chip state and returns a ``task_id -> core_id`` placement, or
+``None`` when it cannot (or chooses not to) place the application yet.
+
+The placement machinery shared by the contiguous mappers (baseline CoNA-
+style and the proposed test-aware mapper) is factored here:
+
+* :func:`square_region_score` — SHiC-style first-node scoring: how many
+  allocatable cores sit in the square of radius ``r`` around a node;
+* :func:`assign_tasks_near` — greedy task-to-core assignment that walks the
+  task graph in topological order and puts each task on the allocatable
+  core minimising communication distance to its already-placed
+  predecessors (with a pluggable tie-breaking cost, which is where the
+  proposed mapper injects utilization/criticality awareness).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.noc.topology import Mesh
+from repro.platform.chip import Chip
+from repro.platform.core import Core
+from repro.workload.application import ApplicationInstance
+
+#: Extra placement cost for a candidate core, injected by mapper subclasses
+#: (now, core) -> cost in "hop-equivalents".
+CoreCost = Callable[[float, Core], float]
+
+
+class MappingContext:
+    """Everything a mapper may consult besides the chip itself."""
+
+    def __init__(
+        self,
+        chip: Chip,
+        mesh: Mesh,
+        now: float,
+        available: List[Core],
+    ) -> None:
+        self.chip = chip
+        self.mesh = mesh
+        self.now = now
+        self.available = available
+        self.available_ids = {core.core_id for core in available}
+
+
+class RuntimeMapper:
+    """Interface for runtime mapping policies."""
+
+    name = "base"
+
+    def map_application(
+        self, app: ApplicationInstance, ctx: MappingContext
+    ) -> Optional[Dict[int, int]]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def square_region_score(ctx: MappingContext, core: Core, radius: int) -> int:
+    """Number of available cores in the ``(2r+1)²`` square centred on core."""
+    count = 0
+    for other in ctx.available:
+        if abs(other.x - core.x) <= radius and abs(other.y - core.y) <= radius:
+            count += 1
+    return count
+
+
+def pick_first_node(
+    ctx: MappingContext, n_tasks: int, extra_cost: Optional[CoreCost] = None
+) -> Optional[Core]:
+    """SHiC-style first-node selection.
+
+    The radius is the smallest square that could hold the application; the
+    chosen node maximises available cores in that square (most-contiguous
+    region), with ``extra_cost`` subtracted for policy-aware biasing and
+    core id as the final deterministic tie-break.
+    """
+    if not ctx.available:
+        return None
+    radius = 1
+    while (2 * radius + 1) ** 2 < n_tasks:
+        radius += 1
+    best: Optional[Core] = None
+    best_key = None
+    for core in ctx.available:
+        score = float(square_region_score(ctx, core, radius))
+        if extra_cost is not None:
+            score -= extra_cost(ctx.now, core)
+        key = (-score, core.core_id)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = core
+    return best
+
+
+def assign_tasks_near(
+    app: ApplicationInstance,
+    ctx: MappingContext,
+    first: Core,
+    extra_cost: Optional[CoreCost] = None,
+) -> Optional[Dict[int, int]]:
+    """Greedy contiguous assignment around ``first``.
+
+    Tasks are placed in topological order; each goes to the free core with
+    the lowest cost, where cost is the summed Manhattan distance to already
+    placed predecessors (communication locality), the distance to the first
+    node (region compactness), and the injected ``extra_cost``.
+    Returns ``None`` when the region runs out of cores.
+    """
+    graph = app.graph
+    if len(graph) > len(ctx.available):
+        return None
+    free: Dict[int, Core] = {c.core_id: c for c in ctx.available}
+    placement: Dict[int, int] = {}
+    positions: Dict[int, tuple] = {}
+
+    order = graph.topo_order
+    for task_id in order:
+        best_core = None
+        best_key = None
+        for core in free.values():
+            cost = 0.5 * Mesh.manhattan(core.position, first.position)
+            for edge in graph.predecessors[task_id]:
+                if edge.src in positions:
+                    cost += Mesh.manhattan(core.position, positions[edge.src])
+            if extra_cost is not None:
+                cost += extra_cost(ctx.now, core)
+            key = (cost, core.core_id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_core = core
+        if best_core is None:
+            return None
+        placement[task_id] = best_core.core_id
+        positions[task_id] = best_core.position
+        del free[best_core.core_id]
+    return placement

@@ -1,0 +1,12 @@
+"""Metrics: collectors and report formatting."""
+
+from repro.metrics.collectors import AppRecord, MetricsCollector
+from repro.metrics.report import format_series, format_table, sparkline
+
+__all__ = [
+    "AppRecord",
+    "MetricsCollector",
+    "format_series",
+    "format_table",
+    "sparkline",
+]

@@ -1,0 +1,90 @@
+"""CSV / JSON export of traces and results.
+
+Figure-grade output: every experiment's series and every run's traces can
+be dumped to CSV for external plotting, and a result's scalar summary to
+JSON for archival, without pulling a plotting stack into the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.trace import Trace
+
+
+def trace_to_csv(
+    trace: Trace,
+    names: Optional[Sequence[str]] = None,
+    grid_step: Optional[float] = None,
+    t_end: Optional[float] = None,
+) -> str:
+    """Render trace series as CSV text.
+
+    Without ``grid_step`` the union of record times is used as the time
+    column (exact, irregular); with it, series are resampled on a regular
+    grid of that step from 0 to ``t_end`` (required then).
+    """
+    selected = list(names) if names is not None else trace.names()
+    for name in selected:
+        if name not in trace.names():
+            raise KeyError(name)
+    if grid_step is not None:
+        if t_end is None:
+            raise ValueError("t_end is required with grid_step")
+        if grid_step <= 0:
+            raise ValueError("grid_step must be positive")
+        grid = [i * grid_step for i in range(int(t_end / grid_step) + 1)]
+    else:
+        stamps = set()
+        for name in selected:
+            stamps.update(trace.series(name)[0])
+        grid = sorted(stamps)
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time_us"] + selected)
+    for t in grid:
+        writer.writerow([t] + [trace.value_at(name, t) for name in selected])
+    return buffer.getvalue()
+
+
+def series_to_csv(columns: Dict[str, Sequence[float]]) -> str:
+    """CSV from equal-length named columns (experiment series output)."""
+    if not columns:
+        raise ValueError("need at least one column")
+    lengths = {len(values) for values in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError("all columns must have equal length")
+    names = list(columns)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(names)
+    for row in zip(*(columns[name] for name in names)):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """CSV from experiment-table rows."""
+    if not headers:
+        raise ValueError("need at least one header")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} width {len(row)} != {len(headers)}")
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def summary_to_json(summary: Dict[str, float], indent: int = 2) -> str:
+    return json.dumps(summary, indent=indent, sort_keys=True)
+
+
+def write_text(path: str, text: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,93 @@
+"""Plain-text table and series rendering for experiment output.
+
+The original paper presents its evaluation as figures and tables; the
+benchmark harness prints the same rows/series as aligned ASCII so results
+can be eyeballed in a terminal and diffed between runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell, precision: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    rendered: List[List[str]] = [
+        [_format_cell(c, precision) for c in row] for row in rows
+    ]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 3,
+    max_points: int = 40,
+) -> str:
+    """Render a (possibly down-sampled) series as two aligned columns."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    n = len(xs)
+    if n > max_points:
+        stride = (n - 1) / (max_points - 1)
+        idx = sorted({int(round(i * stride)) for i in range(max_points)})
+        xs = [xs[i] for i in idx]
+        ys = [ys[i] for i in idx]
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, precision=precision, title=name)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line unicode sparkline of a series (figure-at-a-glance)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    n = len(values)
+    if n > width:
+        stride = n / width
+        values = [values[int(i * stride)] for i in range(width)]
+    lo = min(values)
+    hi = max(values)
+    if hi - lo < 1e-12:
+        return blocks[0] * len(values)
+    span = hi - lo
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - lo) / span * len(blocks)))]
+        for v in values
+    )

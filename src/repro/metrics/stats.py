@@ -1,0 +1,103 @@
+"""Cross-seed replication statistics.
+
+Single-seed numbers from a stochastic simulator are anecdotes; the
+experiment harness replicates runs across seeds and reports mean and a
+confidence half-width.  We use the Student-t interval (seeds are few) and
+keep everything dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.system import SimulationResult, SystemConfig, run_system
+
+#: Two-sided 95% Student-t critical values for small sample sizes
+#: (df = n - 1); beyond the table we fall back to the normal 1.96.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+}
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Mean with a 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "Estimate") -> bool:
+        """Do the two 95% intervals overlap?"""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def estimate(samples: Sequence[float]) -> Estimate:
+    """95% Student-t estimate of the mean of ``samples``."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    n = len(samples)
+    mean = statistics.mean(samples)
+    if n == 1:
+        return Estimate(mean=mean, half_width=float("inf"), n=1)
+    sd = statistics.stdev(samples)
+    t = _T_95.get(n - 1, 1.96)
+    return Estimate(mean=mean, half_width=t * sd / math.sqrt(n), n=n)
+
+
+def replicate(
+    config: SystemConfig, seeds: Sequence[int]
+) -> List[SimulationResult]:
+    """Run the same configuration under each seed."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [run_system(replace(config, seed=seed)) for seed in seeds]
+
+
+def summarize_replicas(
+    results: Sequence[SimulationResult],
+) -> Dict[str, Estimate]:
+    """Per-metric estimates over the replicas' scalar summaries."""
+    if not results:
+        raise ValueError("need at least one result")
+    keys = results[0].summary().keys()
+    samples: Dict[str, List[float]] = {key: [] for key in keys}
+    for result in results:
+        for key, value in result.summary().items():
+            samples[key].append(value)
+    return {key: estimate(values) for key, values in samples.items()}
+
+
+def compare_policies(
+    base: SystemConfig,
+    field: str,
+    values: Sequence[object],
+    seeds: Sequence[int],
+    metric: Callable[[SimulationResult], float] = (
+        lambda r: r.throughput_ops_per_us
+    ),
+) -> Dict[object, Estimate]:
+    """Estimate ``metric`` for each policy value, paired across seeds."""
+    if not values:
+        raise ValueError("need at least one value")
+    out: Dict[object, Estimate] = {}
+    for value in values:
+        config = replace(base, **{field: value})
+        results = replicate(config, seeds)
+        out[value] = estimate([metric(result) for result in results])
+    return out

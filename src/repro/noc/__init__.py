@@ -1,0 +1,18 @@
+"""NoC substrate: mesh topology, XY routing, analytic latency/energy model."""
+
+from repro.noc.model import NocModel, NocParameters, TransferEstimate
+from repro.noc.queued import QueuedNocModel
+from repro.noc.routing import Link, xy_links, xy_path
+from repro.noc.topology import Mesh, Position
+
+__all__ = [
+    "Link",
+    "Mesh",
+    "NocModel",
+    "NocParameters",
+    "QueuedNocModel",
+    "Position",
+    "TransferEstimate",
+    "xy_links",
+    "xy_path",
+]

@@ -1,0 +1,142 @@
+"""Analytic NoC latency/energy model with link-load accounting.
+
+The scheduling and mapping claims of the paper depend on communication
+*trends* — contiguous mappings communicate over fewer hops, dispersed ones
+congest shared links — not on per-flit cycle accuracy, so we use the
+standard analytic model:
+
+* latency of transferring ``volume`` flits over ``h`` hops:
+  ``h * router_delay_us + volume / bandwidth * (1 + congestion_penalty)``
+  where the congestion penalty grows with the current load of the busiest
+  traversed link;
+* energy: ``volume * (h * e_link_pj + (h + 1) * e_router_pj)`` pico-joules.
+
+Link loads are tracked as flits currently in flight per unidirectional
+link, so concurrent transfers across shared links slow each other down —
+enough fidelity for the mapper comparisons (experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.noc.routing import Link, xy_links
+from repro.noc.topology import Mesh, Position
+
+
+@dataclass(frozen=True)
+class NocParameters:
+    """Electrical/timing parameters of the NoC."""
+
+    router_delay_us: float = 0.005   # per-hop router+link traversal
+    bandwidth_flits_per_us: float = 1000.0
+    e_link_pj: float = 2.0           # per flit per link
+    e_router_pj: float = 3.0         # per flit per router
+    congestion_alpha: float = 1.0    # penalty slope per unit link load
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_flits_per_us <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.router_delay_us < 0 or self.congestion_alpha < 0:
+            raise ValueError("delays and penalties must be non-negative")
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """Result of admitting one transfer into the NoC model."""
+
+    latency_us: float
+    energy_uj: float
+    hops: int
+    max_link_load: float
+
+
+class NocModel:
+    """Mesh NoC with XY routing and analytic contention."""
+
+    def __init__(self, mesh: Mesh, params: NocParameters = NocParameters()) -> None:
+        self.mesh = mesh
+        self.params = params
+        self._link_load: Dict[Link, float] = {}
+        self.total_flits: float = 0.0
+        self.total_energy_uj: float = 0.0
+        self.total_flit_hops: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Load accounting
+    # ------------------------------------------------------------------
+    def link_load(self, link: Link) -> float:
+        return self._link_load.get(link, 0.0)
+
+    def occupy(self, links: List[Link], flits: float) -> None:
+        for link in links:
+            self._link_load[link] = self._link_load.get(link, 0.0) + flits
+
+    def release(self, links: List[Link], flits: float) -> None:
+        for link in links:
+            remaining = self._link_load.get(link, 0.0) - flits
+            if remaining < -1e-9:
+                raise ValueError(f"link {link} released below zero")
+            if remaining <= 1e-9:
+                self._link_load.pop(link, None)
+            else:
+                self._link_load[link] = remaining
+
+    def busiest_load(self, links: List[Link]) -> float:
+        if not links:
+            return 0.0
+        return max(self.link_load(link) for link in links)
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def estimate(
+        self, src: Position, dst: Position, flits: float, now: float = 0.0
+    ) -> TransferEstimate:
+        """Latency/energy of a transfer given *current* link loads.
+
+        ``now`` is accepted for interface parity with the queued model and
+        ignored: the analytic model's state is load, not time.  Does not
+        change model state; use :meth:`begin_transfer` /
+        :meth:`end_transfer` around the transfer's lifetime.
+        """
+        if flits < 0:
+            raise ValueError("flit volume must be non-negative")
+        links = xy_links(self.mesh, src, dst)
+        hops = len(links)
+        if flits == 0 or hops == 0:
+            return TransferEstimate(0.0, 0.0, hops, 0.0)
+        load = self.busiest_load(links)
+        normalized = load / self.params.bandwidth_flits_per_us
+        serial = flits / self.params.bandwidth_flits_per_us
+        latency = (
+            hops * self.params.router_delay_us
+            + serial * (1.0 + self.params.congestion_alpha * normalized)
+        )
+        energy_pj = flits * (
+            hops * self.params.e_link_pj + (hops + 1) * self.params.e_router_pj
+        )
+        return TransferEstimate(latency, energy_pj * 1e-6, hops, load)
+
+    def begin_transfer(
+        self, src: Position, dst: Position, flits: float, now: float = 0.0
+    ) -> TransferEstimate:
+        """Admit a transfer: account its load and return its estimate."""
+        estimate = self.estimate(src, dst, flits)
+        links = xy_links(self.mesh, src, dst)
+        self.occupy(links, flits)
+        self.total_flits += flits
+        self.total_flit_hops += flits * estimate.hops
+        self.total_energy_uj += estimate.energy_uj
+        return estimate
+
+    def end_transfer(self, src: Position, dst: Position, flits: float) -> None:
+        """Retire a transfer admitted with :meth:`begin_transfer`."""
+        self.release(xy_links(self.mesh, src, dst), flits)
+
+    def average_hops(self) -> float:
+        """Mean hop count per flit transferred so far."""
+        if self.total_flits == 0:
+            return 0.0
+        return self.total_flit_hops / self.total_flits

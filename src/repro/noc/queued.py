@@ -1,0 +1,104 @@
+"""Queued (store-and-forward) NoC model — the fidelity cross-check.
+
+The default :class:`~repro.noc.model.NocModel` is analytic: contention is
+a latency penalty proportional to current link load.  This module offers
+a more detailed alternative with explicit *temporal* link contention:
+every unidirectional link keeps the absolute time it becomes free, and a
+message reserves its links hop by hop (store-and-forward at message
+granularity):
+
+``start(link) = max(arrival + router_delay, link_free(link))``
+``finish(link) = start + flits / bandwidth``
+
+Messages queue *behind each other in time* instead of merely slowing each
+other down, which is the first-order effect a wormhole NoC exhibits under
+congestion.  Energy accounting is identical to the analytic model.
+
+The point of carrying both models is experiment **A8**: running the same
+workload under both and showing the scheduling/penalty results are
+insensitive to the NoC abstraction — the justification for the analytic
+substitution claimed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.noc.model import NocParameters, TransferEstimate
+from repro.noc.routing import Link, xy_links
+from repro.noc.topology import Mesh, Position
+
+
+class QueuedNocModel:
+    """Mesh NoC with per-link temporal reservations (store-and-forward)."""
+
+    def __init__(self, mesh: Mesh, params: NocParameters = NocParameters()) -> None:
+        self.mesh = mesh
+        self.params = params
+        self._link_free: Dict[Link, float] = {}
+        self.total_flits: float = 0.0
+        self.total_energy_uj: float = 0.0
+        self.total_flit_hops: float = 0.0
+        self.total_queue_wait_us: float = 0.0
+
+    # ------------------------------------------------------------------
+    def link_free_at(self, link: Link) -> float:
+        return self._link_free.get(link, 0.0)
+
+    def _walk(
+        self, src: Position, dst: Position, flits: float, now: float, commit: bool
+    ) -> TransferEstimate:
+        if flits < 0:
+            raise ValueError("flit volume must be non-negative")
+        if now < 0:
+            raise ValueError("now must be non-negative")
+        links = xy_links(self.mesh, src, dst)
+        hops = len(links)
+        if flits == 0 or hops == 0:
+            return TransferEstimate(0.0, 0.0, hops, 0.0)
+        serial = flits / self.params.bandwidth_flits_per_us
+        arrival = now
+        max_wait = 0.0
+        for link in links:
+            ready = arrival + self.params.router_delay_us
+            start = max(ready, self.link_free_at(link))
+            max_wait = max(max_wait, start - ready)
+            finish = start + serial
+            if commit:
+                self._link_free[link] = finish
+            arrival = finish
+        energy_pj = flits * (
+            hops * self.params.e_link_pj + (hops + 1) * self.params.e_router_pj
+        )
+        return TransferEstimate(
+            latency_us=arrival - now,
+            energy_uj=energy_pj * 1e-6,
+            hops=hops,
+            max_link_load=max_wait,
+        )
+
+    # ------------------------------------------------------------------
+    # NocModel-compatible interface
+    # ------------------------------------------------------------------
+    def estimate(
+        self, src: Position, dst: Position, flits: float, now: float = 0.0
+    ) -> TransferEstimate:
+        return self._walk(src, dst, flits, now, commit=False)
+
+    def begin_transfer(
+        self, src: Position, dst: Position, flits: float, now: float = 0.0
+    ) -> TransferEstimate:
+        result = self._walk(src, dst, flits, now, commit=True)
+        self.total_flits += flits
+        self.total_flit_hops += flits * result.hops
+        self.total_energy_uj += result.energy_uj
+        self.total_queue_wait_us += result.max_link_load
+        return result
+
+    def end_transfer(self, src: Position, dst: Position, flits: float) -> None:
+        """No-op: reservations expire with simulated time."""
+
+    def average_hops(self) -> float:
+        if self.total_flits == 0:
+            return 0.0
+        return self.total_flit_hops / self.total_flits

@@ -1,0 +1,38 @@
+"""Deterministic dimension-ordered (XY) routing.
+
+XY routing first corrects the X coordinate, then the Y coordinate.  It is
+deadlock-free on a mesh and is what the NoC manycore platforms this paper
+targets (and the group's companion NoC papers) use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.noc.topology import Mesh, Position
+
+#: A unidirectional link between two adjacent mesh positions.
+Link = Tuple[Position, Position]
+
+
+def xy_path(mesh: Mesh, src: Position, dst: Position) -> List[Position]:
+    """Sequence of positions an XY-routed packet visits, inclusive."""
+    if not (mesh.contains(src) and mesh.contains(dst)):
+        raise IndexError(f"{src} or {dst} outside mesh")
+    path = [src]
+    x, y = src
+    dx = 1 if dst[0] > x else -1
+    while x != dst[0]:
+        x += dx
+        path.append((x, y))
+    dy = 1 if dst[1] > y else -1
+    while y != dst[1]:
+        y += dy
+        path.append((x, y))
+    return path
+
+
+def xy_links(mesh: Mesh, src: Position, dst: Position) -> List[Link]:
+    """Unidirectional links traversed by an XY-routed packet."""
+    path = xy_path(mesh, src, dst)
+    return list(zip(path, path[1:]))

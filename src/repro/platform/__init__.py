@@ -1,0 +1,34 @@
+"""Manycore platform substrate: technology nodes, DVFS, cores, chip."""
+
+from repro.platform.chip import Chip
+from repro.platform.core import BusyWindow, Core, CoreState
+from repro.platform.dvfs import VFLevel, VFTable, build_vf_table
+from repro.platform.thermal import ThermalModel, ThermalParameters, thermal_safe_power
+from repro.platform.variation import VariationModel, VariationParameters
+from repro.platform.technology import (
+    DEFAULT_TDP_W,
+    TECHNOLOGY_NODES,
+    TechnologyNode,
+    get_node,
+    node_names,
+)
+
+__all__ = [
+    "BusyWindow",
+    "Chip",
+    "Core",
+    "CoreState",
+    "DEFAULT_TDP_W",
+    "TECHNOLOGY_NODES",
+    "TechnologyNode",
+    "ThermalModel",
+    "ThermalParameters",
+    "VariationModel",
+    "VariationParameters",
+    "VFLevel",
+    "VFTable",
+    "build_vf_table",
+    "get_node",
+    "node_names",
+    "thermal_safe_power",
+]

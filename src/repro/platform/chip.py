@@ -1,0 +1,113 @@
+"""Chip model: a mesh of cores on one technology node with a DVFS table."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.platform.core import Core, CoreState
+from repro.platform.dvfs import VFTable, build_vf_table
+from repro.platform.technology import DEFAULT_TDP_W, TechnologyNode, get_node
+
+
+class Chip:
+    """An ``width x height`` mesh manycore chip.
+
+    The chip owns the cores and the node/DVFS parameters; power computation
+    lives in :mod:`repro.power` and communication in :mod:`repro.noc`.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        node: TechnologyNode,
+        vf_table: Optional[VFTable] = None,
+        tdp_w: float = DEFAULT_TDP_W,
+    ) -> None:
+        if width < 1 or height < 1:
+            raise ValueError(f"invalid mesh {width}x{height}")
+        if tdp_w <= 0:
+            raise ValueError("TDP must be positive")
+        self.width = width
+        self.height = height
+        self.node = node
+        self.vf_table = vf_table if vf_table is not None else build_vf_table(node)
+        self.tdp_w = tdp_w
+        self.cores: List[Core] = []
+        self._by_pos: Dict[Tuple[int, int], Core] = {}
+        initial = self.vf_table.max_level
+        for y in range(height):
+            for x in range(width):
+                core = Core(core_id=y * width + x, x=x, y=y, level=initial)
+                self.cores.append(core)
+                self._by_pos[(x, y)] = core
+
+    @classmethod
+    def build(
+        cls,
+        width: int = 8,
+        height: int = 8,
+        node_name: str = "16nm",
+        tdp_w: float = DEFAULT_TDP_W,
+        n_vf_levels: int = 8,
+    ) -> "Chip":
+        """Convenience constructor from a node name."""
+        node = get_node(node_name)
+        return cls(width, height, node, build_vf_table(node, n_vf_levels), tdp_w)
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __iter__(self) -> Iterator[Core]:
+        return iter(self.cores)
+
+    def core_at(self, x: int, y: int) -> Core:
+        try:
+            return self._by_pos[(x, y)]
+        except KeyError:
+            raise IndexError(
+                f"({x},{y}) outside {self.width}x{self.height} mesh"
+            ) from None
+
+    def core(self, core_id: int) -> Core:
+        if not 0 <= core_id < len(self.cores):
+            raise IndexError(f"core id {core_id} out of range")
+        return self.cores[core_id]
+
+    def neighbors(self, core: Core) -> List[Core]:
+        """4-neighbourhood of ``core`` in the mesh."""
+        out = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            pos = (core.x + dx, core.y + dy)
+            if pos in self._by_pos:
+                out.append(self._by_pos[pos])
+        return out
+
+    # ------------------------------------------------------------------
+    # State summaries
+    # ------------------------------------------------------------------
+    def cores_in_state(self, state: CoreState) -> List[Core]:
+        return [c for c in self.cores if c.state is state]
+
+    def idle_cores(self) -> List[Core]:
+        return self.cores_in_state(CoreState.IDLE)
+
+    def busy_cores(self) -> List[Core]:
+        return self.cores_in_state(CoreState.BUSY)
+
+    def testing_cores(self) -> List[Core]:
+        return self.cores_in_state(CoreState.TESTING)
+
+    def healthy_cores(self) -> List[Core]:
+        return [c for c in self.cores if c.state is not CoreState.FAULTY]
+
+    def free_cores(self) -> List[Core]:
+        """Cores the mapper may allocate right now (idle and unowned)."""
+        return [c for c in self.cores if c.is_idle() and c.owner_app is None]
+
+    def lit_fraction(self) -> float:
+        """Dark-silicon lit fraction of this chip under its own TDP."""
+        return self.node.lit_fraction(len(self.cores), self.tdp_w)

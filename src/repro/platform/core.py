@@ -1,0 +1,176 @@
+"""Per-core state model.
+
+A :class:`Core` is a mostly-passive record of one tile's processor state:
+its position in the mesh, what it is doing (idle / busy / under test /
+retired-faulty), its current DVFS level, and its activity accounting.  The
+behavioural logic lives in the execution engine, power manager and test
+scheduler; keeping the core itself simple makes every state transition
+auditable in one place per subsystem.
+
+Activity accounting matters because both the proposed criticality metric
+and the proposed mapper are driven by *utilization*: the fraction of recent
+time a core spent executing workload.  :class:`BusyWindow` keeps a pruned
+list of busy intervals and answers window queries exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.platform.dvfs import VFLevel
+
+
+class CoreState(enum.Enum):
+    """Lifecycle states of a core."""
+
+    IDLE = "idle"          # powered down (clock/power gated), no leakage
+    BUSY = "busy"          # executing a workload task
+    TESTING = "testing"    # executing an SBST routine
+    FAULTY = "faulty"      # fault detected -> retired (permanently dark)
+
+
+class BusyWindow:
+    """Exact busy-time accounting over a sliding window.
+
+    Intervals are ``[start, end)`` in simulation time.  ``utilization``
+    integrates the overlap of recorded intervals with the query window;
+    intervals that can no longer affect queries are pruned.
+    """
+
+    def __init__(self) -> None:
+        self._intervals: List[Tuple[float, float]] = []
+        self.total_busy: float = 0.0
+
+    def add(self, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"interval end {end} before start {start}")
+        if end == start:
+            return
+        if self._intervals and start < self._intervals[-1][1]:
+            raise ValueError(
+                "overlapping busy interval: "
+                f"{start} < previous end {self._intervals[-1][1]}"
+            )
+        self._intervals.append((start, end))
+        self.total_busy += end - start
+
+    def busy_in(self, t0: float, t1: float) -> float:
+        """Busy time inside ``[t0, t1]``."""
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        for start, end in self._intervals:
+            lo = max(start, t0)
+            hi = min(end, t1)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def utilization(self, now: float, window: float) -> float:
+        """Fraction of ``[now - window, now]`` spent busy."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        t0 = max(0.0, now - window)
+        if now <= t0:
+            return 0.0
+        return self.busy_in(t0, now) / (now - t0)
+
+    def prune(self, horizon: float) -> None:
+        """Drop intervals that end before ``horizon``."""
+        self._intervals = [iv for iv in self._intervals if iv[1] > horizon]
+
+
+class Core:
+    """State record of one processing tile."""
+
+    def __init__(self, core_id: int, x: int, y: int, level: VFLevel) -> None:
+        self.core_id = core_id
+        self.x = x
+        self.y = y
+        self.state = CoreState.IDLE
+        self.level = level
+        # Process-variation factors (see repro.platform.variation): this
+        # core's frequency multiplier at any DVFS level, and its leakage
+        # multiplier. 1.0 means a nominal (variation-free) core.
+        self.speed_factor: float = 1.0
+        self.leak_factor: float = 1.0
+        # Workload bookkeeping
+        self.current_task: Optional[object] = None
+        self.owner_app: Optional[int] = None
+        self.busy_window = BusyWindow()
+        self.busy_until: float = 0.0
+        # Test bookkeeping
+        self.last_test_end: float = 0.0
+        self.tests_completed: int = 0
+        self.test_time_total: float = 0.0
+        self.testing_until: float = 0.0
+        self.tested_levels: set = set()
+        # DVFS-level index -> time the level was last covered by a test.
+        self.level_last_test: dict = {}
+        # Health bookkeeping (managed by repro.aging)
+        self.age_stress: float = 0.0
+        self.stress_since_test: float = 0.0
+        self.fault_present: bool = False
+        self.fault_injected_at: Optional[float] = None
+        self.fault_detected_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Convenience predicates
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Tuple[int, int]:
+        return (self.x, self.y)
+
+    def speed_at(self, level: Optional[VFLevel] = None) -> float:
+        """Effective execution speed (ops/µs) including process variation."""
+        lvl = level if level is not None else self.level
+        return lvl.speed * self.speed_factor
+
+    def is_idle(self) -> bool:
+        return self.state is CoreState.IDLE
+
+    def is_busy(self) -> bool:
+        return self.state is CoreState.BUSY
+
+    def is_testing(self) -> bool:
+        return self.state is CoreState.TESTING
+
+    def is_faulty(self) -> bool:
+        return self.state is CoreState.FAULTY
+
+    def is_allocatable(self) -> bool:
+        """May the mapper hand this core to a new application?
+
+        Cores under test are allocatable or not depending on the system's
+        test-preemption policy; that policy is applied by the mapper, so
+        here we only exclude retired cores and cores already owned.
+        """
+        return self.state is not CoreState.FAULTY and self.owner_app is None
+
+    def utilization(self, now: float, window: float) -> float:
+        """Recent utilization including any in-flight busy interval."""
+        base = self.busy_window.busy_in(max(0.0, now - window), now)
+        if self.state is CoreState.BUSY and self.busy_until > now:
+            # The open interval [start, busy_until) was not recorded yet;
+            # count its elapsed part. Its start is at or before `now`, and
+            # recorded intervals never overlap it.
+            start = max(max(0.0, now - window), self._open_interval_start(now))
+            if now > start:
+                base += now - start
+        span = min(now, window)
+        if span <= 0:
+            return 0.0
+        return min(1.0, base / span)
+
+    def _open_interval_start(self, now: float) -> float:
+        # The current task began when the core last became busy; we derive
+        # it from busy_until minus the task duration tracked by the engine.
+        # The execution engine stores it explicitly:
+        return getattr(self, "busy_since", now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Core(id={self.core_id}, pos=({self.x},{self.y}), "
+            f"state={self.state.value}, level={self.level.index})"
+        )

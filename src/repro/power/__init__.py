@@ -1,0 +1,30 @@
+"""Power substrate: metering, TDP budget, PID budgeting, DVFS policies."""
+
+from repro.power.budget import BudgetAudit, PowerBudget
+from repro.power.manager import (
+    NaiveTDPManager,
+    NoOpPowerManager,
+    PIDPowerManager,
+    PowerManager,
+    TSPPowerManager,
+    WorstCaseTDPManager,
+    make_power_manager,
+)
+from repro.power.meter import PowerBreakdown, PowerMeter
+from repro.power.pid import PIDController, PIDGains
+
+__all__ = [
+    "BudgetAudit",
+    "NaiveTDPManager",
+    "NoOpPowerManager",
+    "PIDController",
+    "PIDGains",
+    "PIDPowerManager",
+    "PowerBreakdown",
+    "PowerBudget",
+    "PowerManager",
+    "PowerMeter",
+    "TSPPowerManager",
+    "WorstCaseTDPManager",
+    "make_power_manager",
+]

@@ -1,0 +1,68 @@
+"""Chip power budget (TDP) and budget accounting helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class PowerBudget:
+    """The chip-level power cap and its guard band.
+
+    ``tdp_w`` is the hard cap the package must not exceed; actuators aim at
+    the *guarded* cap so that event-grained power wiggle between control
+    epochs does not puncture the hard cap.
+    """
+
+    tdp_w: float
+    guard_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.tdp_w <= 0:
+            raise ValueError("TDP must be positive")
+        if not 0.0 <= self.guard_fraction < 1.0:
+            raise ValueError("guard_fraction must be in [0, 1)")
+
+    @property
+    def cap(self) -> float:
+        return self.tdp_w
+
+    @property
+    def guarded_cap(self) -> float:
+        return self.tdp_w * (1.0 - self.guard_fraction)
+
+    def headroom(self, measured_w: float) -> float:
+        """Power still spendable under the guarded cap."""
+        return self.guarded_cap - measured_w
+
+    def violated(self, measured_w: float) -> bool:
+        return measured_w > self.tdp_w + 1e-9
+
+
+@dataclass
+class BudgetAudit:
+    """Records budget-violation statistics from sampled chip power."""
+
+    budget: PowerBudget
+    samples: int = 0
+    violations: int = 0
+    worst_overshoot_w: float = 0.0
+    _violation_spans: List[Tuple[float, float]] = field(default_factory=list)
+
+    def observe(self, time: float, measured_w: float) -> None:
+        self.samples += 1
+        if self.budget.violated(measured_w):
+            self.violations += 1
+            overshoot = measured_w - self.budget.tdp_w
+            self.worst_overshoot_w = max(self.worst_overshoot_w, overshoot)
+            self._violation_spans.append((time, overshoot))
+
+    @property
+    def violation_rate(self) -> float:
+        if self.samples == 0:
+            return 0.0
+        return self.violations / self.samples
+
+    def violation_times(self) -> List[float]:
+        return [t for t, _ in self._violation_spans]

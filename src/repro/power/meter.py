@@ -1,0 +1,147 @@
+"""Chip power metering.
+
+The meter turns the instantaneous platform state (which cores are busy,
+testing or gated, at which DVFS level, plus registered NoC transfer power)
+into Watts, split into the channels the experiments report:
+
+* ``workload`` — dynamic power of cores executing tasks;
+* ``test``     — dynamic power of cores executing SBST routines;
+* ``leakage``  — static power of all powered (non-gated) cores;
+* ``noc``      — power of in-flight NoC transfers.
+
+Idle cores are power gated and retain only a small gated-leakage fraction;
+retired (faulty) cores are fully dark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.platform.chip import Chip
+from repro.platform.core import Core, CoreState
+from repro.platform.dvfs import VFLevel
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Instantaneous chip power, per channel, in Watts."""
+
+    workload: float
+    test: float
+    leakage: float
+    noc: float
+
+    @property
+    def total(self) -> float:
+        return self.workload + self.test + self.leakage + self.noc
+
+
+class PowerMeter:
+    """Computes instantaneous chip power from platform state."""
+
+    def __init__(
+        self,
+        chip: Chip,
+        gated_leak_fraction: float = 0.03,
+        default_activity: float = 1.0,
+    ) -> None:
+        if not 0.0 <= gated_leak_fraction <= 1.0:
+            raise ValueError("gated_leak_fraction must be in [0, 1]")
+        self.chip = chip
+        self.gated_leak_fraction = gated_leak_fraction
+        self.default_activity = default_activity
+        self._noc_power_w: float = 0.0
+        # Activity/test factors set by the execution engine / test runner.
+        self._core_activity: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # External load registration
+    # ------------------------------------------------------------------
+    def set_core_activity(self, core: Core, activity: Optional[float]) -> None:
+        """Set (or clear with ``None``) the dynamic activity factor of a core.
+
+        For workload this is the task's switching activity; for test it is
+        the SBST routine's power factor (often > 1: tests maximise toggling).
+        """
+        if activity is None:
+            self._core_activity.pop(core.core_id, None)
+        else:
+            if activity < 0:
+                raise ValueError("activity must be >= 0")
+            self._core_activity[core.core_id] = activity
+
+    def add_noc_power(self, watts: float) -> None:
+        self._noc_power_w += watts
+
+    def remove_noc_power(self, watts: float) -> None:
+        self._noc_power_w -= watts
+        if self._noc_power_w < 0:
+            # Guard against float drift; a genuinely negative load is a bug.
+            if self._noc_power_w < -1e-6:
+                raise ValueError("NoC power went negative")
+            self._noc_power_w = 0.0
+
+    @property
+    def noc_power(self) -> float:
+        return self._noc_power_w
+
+    # ------------------------------------------------------------------
+    # Power computation
+    # ------------------------------------------------------------------
+    def core_dynamic(self, core: Core, level: Optional[VFLevel] = None) -> float:
+        """Dynamic power of ``core`` (0 unless busy or testing)."""
+        if core.state not in (CoreState.BUSY, CoreState.TESTING):
+            return 0.0
+        lvl = level if level is not None else core.level
+        activity = self._core_activity.get(core.core_id, self.default_activity)
+        return self.chip.node.dynamic_power(lvl.vdd, lvl.f_mhz, activity)
+
+    def core_leakage(self, core: Core, level: Optional[VFLevel] = None) -> float:
+        """Leakage power of ``core`` given its gating state and variation."""
+        if core.state is CoreState.FAULTY:
+            return 0.0
+        lvl = level if level is not None else core.level
+        leak = self.chip.node.leakage_power(lvl.vdd) * core.leak_factor
+        if core.state is CoreState.IDLE:
+            return leak * self.gated_leak_fraction
+        return leak
+
+    def core_power(self, core: Core, level: Optional[VFLevel] = None) -> float:
+        return self.core_dynamic(core, level) + self.core_leakage(core, level)
+
+    def breakdown(self) -> PowerBreakdown:
+        """Instantaneous chip power split into reporting channels."""
+        workload = 0.0
+        test = 0.0
+        leakage = 0.0
+        for core in self.chip:
+            dyn = self.core_dynamic(core)
+            if core.state is CoreState.BUSY:
+                workload += dyn
+            elif core.state is CoreState.TESTING:
+                test += dyn
+            leakage += self.core_leakage(core)
+        return PowerBreakdown(
+            workload=workload, test=test, leakage=leakage, noc=self._noc_power_w
+        )
+
+    def chip_power(self) -> float:
+        return self.breakdown().total
+
+    def headroom(self, budget_w: float) -> float:
+        """Unused budget right now (may be negative when over budget)."""
+        return budget_w - self.chip_power()
+
+    def predicted_delta(self, core: Core, new_level: VFLevel) -> float:
+        """Power change if ``core`` switched to ``new_level`` now."""
+        return self.core_power(core, new_level) - self.core_power(core)
+
+    def added_power_if_busy(
+        self, core: Core, level: VFLevel, activity: float
+    ) -> float:
+        """Power added if the (currently gated) core started work at ``level``."""
+        busy = self.chip.node.dynamic_power(
+            level.vdd, level.f_mhz, activity
+        ) + self.chip.node.leakage_power(level.vdd) * core.leak_factor
+        return busy - self.core_power(core)

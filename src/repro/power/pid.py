@@ -1,0 +1,69 @@
+"""Discrete PID controller (the ICCD'14 dynamic power budgeting substrate).
+
+The controller regulates measured chip power towards the TDP set-point.
+Its output is interpreted by :class:`repro.power.manager.PIDPowerManager`
+as the *admissible power target* for the next control epoch: when the
+workload ramps up the integral term backs the target off smoothly instead
+of oscillating between full-speed and panic-throttle like the naive policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PIDGains:
+    """Controller gains. Defaults tuned for Watt-scale errors, 100 µs epochs."""
+
+    kp: float = 0.6
+    ki: float = 0.15
+    kd: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ValueError("PID gains must be non-negative")
+
+
+class PIDController:
+    """Textbook discrete PID with anti-windup clamping on the integral."""
+
+    def __init__(
+        self,
+        set_point: float,
+        gains: PIDGains = PIDGains(),
+        integral_limit: float = 50.0,
+    ) -> None:
+        if integral_limit <= 0:
+            raise ValueError("integral_limit must be positive")
+        self.set_point = set_point
+        self.gains = gains
+        self.integral_limit = integral_limit
+        self._integral = 0.0
+        self._last_error: float = 0.0
+        self._primed = False
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._last_error = 0.0
+        self._primed = False
+
+    def update(self, measured: float, dt: float) -> float:
+        """Advance the controller; returns the control signal (Watts).
+
+        Positive output means headroom exists (actuator may speed cores
+        up); negative output means the budget is being violated (actuator
+        must slow cores down).
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        error = self.set_point - measured
+        self._integral += error * dt
+        self._integral = max(
+            -self.integral_limit, min(self.integral_limit, self._integral)
+        )
+        derivative = 0.0 if not self._primed else (error - self._last_error) / dt
+        self._last_error = error
+        self._primed = True
+        g = self.gains
+        return g.kp * error + g.ki * self._integral + g.kd * derivative

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel (engine, events, traces, RNG streams)."""
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import (
+    Event,
+    PRIORITY_CONTROL,
+    PRIORITY_EARLY,
+    PRIORITY_NORMAL,
+)
+from repro.sim.rng import StreamRegistry, derive_seed, make_rng
+from repro.sim.trace import Trace
+
+__all__ = [
+    "Event",
+    "PRIORITY_CONTROL",
+    "PRIORITY_EARLY",
+    "PRIORITY_NORMAL",
+    "SimulationError",
+    "Simulator",
+    "StreamRegistry",
+    "Trace",
+    "derive_seed",
+    "make_rng",
+]

@@ -1,0 +1,139 @@
+"""A small deterministic discrete-event simulation engine.
+
+The engine keeps a heap of :class:`~repro.sim.events.Event` objects and an
+absolute clock ``now`` (microseconds throughout this project, although the
+engine itself is unit-agnostic).  Model components schedule callbacks with
+:meth:`Simulator.schedule` / :meth:`Simulator.at`; periodic control planes
+(power manager, test scheduler) register with :meth:`Simulator.every`.
+
+Determinism guarantees:
+
+* events at equal ``(time, priority)`` fire in scheduling order;
+* no wall-clock or global RNG use — randomness comes exclusively from
+  :mod:`repro.sim.rng` streams owned by the caller.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event, PRIORITY_CONTROL, PRIORITY_NORMAL
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Discrete-event simulation kernel with a deterministic event order."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._running = False
+        self._stopped = False
+        self.events_fired: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        action: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``action(*args)`` at absolute ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        event = Event(time=time, priority=priority, action=action, args=args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``action(*args)`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + delay, action, *args, priority=priority)
+
+    def every(
+        self,
+        period: float,
+        action: Callable[[], Any],
+        *,
+        phase: float = 0.0,
+        priority: int = PRIORITY_CONTROL,
+    ) -> None:
+        """Run ``action()`` periodically, first at ``now + phase + period``.
+
+        Control-plane ticks default to :data:`PRIORITY_CONTROL` so they see
+        the settled model state of their timestamp.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+
+        def tick() -> None:
+            action()
+            if not self._stopped:
+                self.schedule(period, tick, priority=priority)
+
+        self.schedule(phase + period, tick, priority=priority)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event heap drains or the clock passes ``until``.
+
+        Returns the final simulation time (``until`` when a horizon was
+        given, so time integrals cover the full window).
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = event.time
+                event.fire()
+                self.events_fired += 1
+                if self._stopped:
+                    break
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event returns."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pending(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,122 @@
+"""Time-series tracing for simulation observables.
+
+A :class:`Trace` stores named, step-wise time series (the value recorded at
+time ``t`` holds until the next record).  It offers the integrals and
+averages the experiment harness needs: time-weighted averages of power
+traces, peak values, and resampling onto a regular grid for figure output.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class Trace:
+    """A collection of named step-function time series."""
+
+    def __init__(self) -> None:
+        self._times: Dict[str, List[float]] = {}
+        self._values: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, name: str, time: float, value: float) -> None:
+        """Record ``value`` for series ``name`` at ``time``.
+
+        Times must be non-decreasing per series; a record at an existing
+        last timestamp overwrites it (the final value at a time wins, which
+        matches the engine's same-time event semantics).
+        """
+        times = self._times.setdefault(name, [])
+        values = self._values.setdefault(name, [])
+        if times and time < times[-1]:
+            raise ValueError(
+                f"non-monotonic record for {name!r}: {time} < {times[-1]}"
+            )
+        if times and time == times[-1]:
+            values[-1] = value
+        else:
+            times.append(time)
+            values.append(value)
+
+    def increment(self, name: str, time: float, delta: float) -> None:
+        """Record ``last_value + delta`` (0 start) for counter-style series."""
+        last = self.last(name, default=0.0)
+        self.record(name, time, last + delta)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._times)
+
+    def series(self, name: str) -> Tuple[List[float], List[float]]:
+        """Return ``(times, values)`` lists (copies) for ``name``."""
+        if name not in self._times:
+            raise KeyError(name)
+        return list(self._times[name]), list(self._values[name])
+
+    def last(self, name: str, default: float = 0.0) -> float:
+        values = self._values.get(name)
+        return values[-1] if values else default
+
+    def value_at(self, name: str, time: float, default: float = 0.0) -> float:
+        """Step-function value of the series at ``time``."""
+        times = self._times.get(name)
+        if not times:
+            return default
+        idx = bisect.bisect_right(times, time) - 1
+        if idx < 0:
+            return default
+        return self._values[name][idx]
+
+    def integral(self, name: str, t0: float, t1: float) -> float:
+        """Integral of the step function over ``[t0, t1]``.
+
+        For a power series in Watts over microseconds this yields energy in
+        micro-joules.
+        """
+        if t1 < t0:
+            raise ValueError(f"empty interval [{t0}, {t1}]")
+        times = self._times.get(name)
+        if not times:
+            return 0.0
+        values = self._values[name]
+        total = 0.0
+        # Walk segments [times[i], times[i+1]) clipped to [t0, t1].
+        for i, start in enumerate(times):
+            end = times[i + 1] if i + 1 < len(times) else t1
+            lo = max(start, t0)
+            hi = min(end, t1)
+            if hi > lo:
+                total += values[i] * (hi - lo)
+        # Segment before the first record contributes nothing (value unknown).
+        return total
+
+    def time_average(self, name: str, t0: float, t1: float) -> float:
+        """Time-weighted average of the series over ``[t0, t1]``."""
+        if t1 <= t0:
+            raise ValueError(f"empty interval [{t0}, {t1}]")
+        return self.integral(name, t0, t1) / (t1 - t0)
+
+    def maximum(self, name: str, default: float = 0.0) -> float:
+        values = self._values.get(name)
+        return max(values) if values else default
+
+    def resample(
+        self, name: str, grid: Sequence[float]
+    ) -> List[float]:
+        """Sample the step function on ``grid`` (for figure series output)."""
+        return [self.value_at(name, t) for t in grid]
+
+    def merge_names(self, names: Iterable[str], out: str) -> None:
+        """Create series ``out`` as the pointwise sum of ``names``.
+
+        The union of all record times is used as the new grid.
+        """
+        grid = sorted({t for n in names if n in self._times for t in self._times[n]})
+        for t in grid:
+            total = sum(self.value_at(n, t) for n in names)
+            self.record(out, t, total)

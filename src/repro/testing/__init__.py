@@ -1,0 +1,23 @@
+"""SBST test substrate: routine models, runner, baseline schedulers."""
+
+from repro.testing.runner import TestRunner, TestSession, TestStats
+from repro.testing.sbst import SBSTLibrary, SBSTRoutine, default_library
+from repro.testing.schedulers import (
+    NoTestScheduler,
+    PowerUnawareTestScheduler,
+    RoundRobinTestScheduler,
+    TestSchedulerBase,
+)
+
+__all__ = [
+    "NoTestScheduler",
+    "PowerUnawareTestScheduler",
+    "RoundRobinTestScheduler",
+    "SBSTLibrary",
+    "SBSTRoutine",
+    "TestRunner",
+    "TestSchedulerBase",
+    "TestSession",
+    "TestStats",
+    "default_library",
+]

@@ -1,0 +1,120 @@
+"""Software-Based Self-Test (SBST) routine models.
+
+An SBST routine is a functional test program a core runs on itself.  The
+scheduler only needs three observable properties per routine (see
+DESIGN.md substitutions — we model routines parametrically rather than
+porting actual test programs):
+
+* ``cycles`` — length of the routine in clock cycles, so its wall-clock
+  duration depends on the DVFS level it runs at (``cycles / f``);
+* ``power_factor`` — switching-activity multiplier; good SBST maximises
+  toggling, so routines typically burn *more* dynamic power than average
+  workload (factor > 1);
+* ``coverage`` — probability that the routine exposes a fault that
+  manifests at the tested operating point.
+
+A full test session for a core is a suite of routines targeting different
+units; :class:`SBSTLibrary` aggregates them and answers duration/power/
+coverage queries for a whole session at a given V/F level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.platform.dvfs import VFLevel
+from repro.platform.technology import TechnologyNode
+
+
+@dataclass(frozen=True)
+class SBSTRoutine:
+    """One self-test program targeting a functional unit."""
+
+    name: str
+    cycles: float
+    power_factor: float = 1.1
+    coverage: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError(f"{self.name}: cycles must be positive")
+        if self.power_factor <= 0:
+            raise ValueError(f"{self.name}: power_factor must be positive")
+        if not 0.0 < self.coverage <= 1.0:
+            raise ValueError(f"{self.name}: coverage must be in (0, 1]")
+
+    def duration_at(self, level: VFLevel) -> float:
+        """Wall-clock duration (µs) at DVFS ``level``."""
+        return self.cycles / level.f_mhz
+
+
+class SBSTLibrary:
+    """A suite of routines executed back-to-back as one test session."""
+
+    def __init__(self, routines: Sequence[SBSTRoutine]) -> None:
+        if not routines:
+            raise ValueError("library needs at least one routine")
+        names = [r.name for r in routines]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate routine names")
+        self.routines: List[SBSTRoutine] = list(routines)
+
+    def __len__(self) -> int:
+        return len(self.routines)
+
+    def __iter__(self):
+        return iter(self.routines)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(r.cycles for r in self.routines)
+
+    def session_duration(self, level: VFLevel) -> float:
+        """Duration (µs) of the full suite at ``level``."""
+        return self.total_cycles / level.f_mhz
+
+    def session_power_factor(self) -> float:
+        """Cycle-weighted mean power factor of the suite."""
+        return (
+            sum(r.cycles * r.power_factor for r in self.routines)
+            / self.total_cycles
+        )
+
+    def session_coverage(self) -> float:
+        """Probability the suite exposes a manifesting fault.
+
+        Routines target disjoint units, so the session misses a fault only
+        if every routine misses it: ``1 - Π(1 - coverage_i)``.
+        """
+        miss = 1.0
+        for routine in self.routines:
+            miss *= 1.0 - routine.coverage
+        return 1.0 - miss
+
+    def session_power(self, node: TechnologyNode, level: VFLevel) -> float:
+        """Estimated power (W) of a core running the suite at ``level``."""
+        return (
+            node.dynamic_power(level.vdd, level.f_mhz, self.session_power_factor())
+            + node.leakage_power(level.vdd)
+        )
+
+
+def default_library(scale: float = 1.0) -> SBSTLibrary:
+    """The default per-core test suite (≈120k cycles at scale=1).
+
+    Roughly 35 µs at a 3.5 GHz nominal level — long enough that tests
+    visibly consume budget, short enough to fit typical idle periods, in
+    line with published SBST program lengths for small embedded cores.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return SBSTLibrary(
+        [
+            SBSTRoutine("alu-march", cycles=30_000 * scale, power_factor=1.20, coverage=0.70),
+            SBSTRoutine("regfile-walk", cycles=20_000 * scale, power_factor=1.05, coverage=0.55),
+            SBSTRoutine("pipeline-hazard", cycles=25_000 * scale, power_factor=1.15, coverage=0.60),
+            SBSTRoutine("cache-march", cycles=30_000 * scale, power_factor=0.95, coverage=0.65),
+            SBSTRoutine("branch-predictor", cycles=15_000 * scale, power_factor=1.10, coverage=0.45),
+        ]
+    )

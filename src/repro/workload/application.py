@@ -1,0 +1,160 @@
+"""Application model: a DAG of tasks plus instance-level runtime state."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.workload.task import Edge, Task
+
+
+class ApplicationGraph:
+    """An immutable task graph (template an application instance runs)."""
+
+    def __init__(
+        self,
+        name: str,
+        tasks: Sequence[Task],
+        edges: Sequence[Edge],
+        rt_class: str = "best-effort",
+    ) -> None:
+        self.name = name
+        self.rt_class = rt_class
+        self.tasks: Dict[int, Task] = {}
+        for task in tasks:
+            if task.task_id in self.tasks:
+                raise ValueError(f"duplicate task id {task.task_id} in {name}")
+            self.tasks[task.task_id] = task
+        self.edges: List[Edge] = list(edges)
+        self.successors: Dict[int, List[Edge]] = {t: [] for t in self.tasks}
+        self.predecessors: Dict[int, List[Edge]] = {t: [] for t in self.tasks}
+        for edge in self.edges:
+            if edge.src not in self.tasks or edge.dst not in self.tasks:
+                raise ValueError(f"edge {edge} references unknown task in {name}")
+            self.successors[edge.src].append(edge)
+            self.predecessors[edge.dst].append(edge)
+        self._topo = self._topological_order()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def _topological_order(self) -> List[int]:
+        indegree = {t: len(self.predecessors[t]) for t in self.tasks}
+        ready = sorted(t for t, d in indegree.items() if d == 0)
+        order: List[int] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            appended = []
+            for edge in self.successors[current]:
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    appended.append(edge.dst)
+            # Keep determinism: new ready tasks enter in sorted order.
+            for t in sorted(appended):
+                ready.append(t)
+        if len(order) != len(self.tasks):
+            raise ValueError(f"application {self.name!r} contains a cycle")
+        return order
+
+    @property
+    def topo_order(self) -> List[int]:
+        return list(self._topo)
+
+    def roots(self) -> List[int]:
+        return sorted(t for t in self.tasks if not self.predecessors[t])
+
+    def sinks(self) -> List[int]:
+        return sorted(t for t in self.tasks if not self.successors[t])
+
+    def total_ops(self) -> float:
+        return sum(task.ops for task in self.tasks.values())
+
+    def total_comm_volume(self) -> float:
+        return sum(edge.volume_flits for edge in self.edges)
+
+    def critical_path_ops(self) -> float:
+        """Longest chain of operations through the DAG (ignores comm)."""
+        longest: Dict[int, float] = {}
+        for task_id in self._topo:
+            incoming = [
+                longest[e.src] for e in self.predecessors[task_id]
+            ]
+            longest[task_id] = self.tasks[task_id].ops + (max(incoming) if incoming else 0.0)
+        return max(longest.values()) if longest else 0.0
+
+
+class ApplicationInstance:
+    """A runtime instance of an :class:`ApplicationGraph`.
+
+    Tracks arrival/start/finish timestamps and per-task completion so the
+    execution engine can release dependent tasks and free cores.
+    """
+
+    def __init__(self, app_id: int, graph: ApplicationGraph, arrival_time: float) -> None:
+        self.app_id = app_id
+        self.graph = graph
+        self.arrival_time = arrival_time
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        # task_id -> core_id assignment chosen by the mapper at start.
+        self.placement: Dict[int, int] = {}
+        self.completed_tasks: set = set()
+        self.transferred_edges: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    def is_finished(self) -> bool:
+        return len(self.completed_tasks) == len(self.graph.tasks)
+
+    def is_started(self) -> bool:
+        return self.start_time is not None
+
+    def mark_task_done(self, task_id: int) -> None:
+        if task_id not in self.graph.tasks:
+            raise KeyError(f"unknown task {task_id}")
+        if task_id in self.completed_tasks:
+            raise ValueError(f"task {task_id} completed twice")
+        self.completed_tasks.add(task_id)
+
+    def task_ready(self, task_id: int) -> bool:
+        """All predecessor tasks done and their edges transferred?"""
+        for edge in self.graph.predecessors[task_id]:
+            if edge.src not in self.completed_tasks:
+                return False
+            if (edge.src, edge.dst) not in self.transferred_edges:
+                return False
+        return True
+
+    def ready_tasks(self, running: Iterable[int]) -> List[int]:
+        """Tasks whose dependencies are satisfied and are not done/running."""
+        running_set = set(running)
+        return [
+            t
+            for t in self.graph.topo_order
+            if t not in self.completed_tasks
+            and t not in running_set
+            and self.task_ready(t)
+        ]
+
+    def waiting_time(self) -> Optional[float]:
+        """Queueing delay from arrival to mapping (None before start)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.arrival_time
+
+    def turnaround(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ApplicationInstance(id={self.app_id}, graph={self.graph.name!r}, "
+            f"arrived={self.arrival_time})"
+        )

@@ -1,0 +1,149 @@
+"""TGFF-style random task-graph generation.
+
+The original evaluation drives the platform with synthetic task graphs (the
+group's papers use TGFF-generated mixes).  We reproduce the statistical
+shape with a layered-DAG generator: tasks are arranged in layers, each
+non-root task draws 1..max_fanin predecessors from the previous layers, and
+operation counts / communication volumes / activity factors are drawn from
+profile-specified ranges.  Everything is driven by an injected RNG stream,
+so a workload is a pure function of (seed, profile).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.workload.application import ApplicationGraph
+from repro.workload.task import Edge, Task
+
+#: Priority order of real-time classes, most urgent first.
+RT_CLASSES = {"hard-rt": 0, "soft-rt": 1, "best-effort": 2}
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Statistical shape of one class of applications."""
+
+    name: str
+    n_tasks: Tuple[int, int] = (4, 12)
+    ops: Tuple[float, float] = (2e5, 2e6)
+    max_fanin: int = 3
+    comm_volume: Tuple[float, float] = (100.0, 2000.0)
+    activity: Tuple[float, float] = (0.6, 1.0)
+    layer_width: Tuple[int, int] = (1, 4)
+    #: Real-time criticality class (the ICCD'14 mixed-criticality model):
+    #: "hard-rt" | "soft-rt" | "best-effort". Drives queue priority and
+    #: the power manager's DVFS favouritism.
+    rt_class: str = "best-effort"
+
+    def __post_init__(self) -> None:
+        if self.rt_class not in RT_CLASSES:
+            raise ValueError(
+                f"{self.name}: unknown rt_class {self.rt_class!r}; "
+                f"known: {sorted(RT_CLASSES)}"
+            )
+        if self.n_tasks[0] < 1 or self.n_tasks[0] > self.n_tasks[1]:
+            raise ValueError(f"{self.name}: bad n_tasks range {self.n_tasks}")
+        if self.ops[0] <= 0 or self.ops[0] > self.ops[1]:
+            raise ValueError(f"{self.name}: bad ops range {self.ops}")
+        if self.max_fanin < 1:
+            raise ValueError(f"{self.name}: max_fanin must be >= 1")
+        if self.layer_width[0] < 1 or self.layer_width[0] > self.layer_width[1]:
+            raise ValueError(f"{self.name}: bad layer_width {self.layer_width}")
+
+
+#: Profile presets covering the workload mix of a dynamic manycore system:
+#: small latency-sensitive jobs, medium pipelines and large compute kernels.
+PROFILE_PRESETS = {
+    "small": ApplicationProfile(
+        name="small", n_tasks=(3, 6), ops=(1e5, 6e5),
+        comm_volume=(50.0, 500.0), layer_width=(1, 2),
+    ),
+    "medium": ApplicationProfile(
+        name="medium", n_tasks=(6, 14), ops=(3e5, 2e6),
+        comm_volume=(100.0, 2000.0), layer_width=(1, 4),
+    ),
+    "large": ApplicationProfile(
+        name="large", n_tasks=(12, 24), ops=(1e6, 6e6),
+        comm_volume=(500.0, 5000.0), layer_width=(2, 6), max_fanin=4,
+    ),
+    # Mixed-criticality variants (the ICCD'14 workload model): the same
+    # structural shapes, tagged with real-time classes.
+    "hard-rt-small": ApplicationProfile(
+        name="hard-rt-small", n_tasks=(3, 6), ops=(1e5, 6e5),
+        comm_volume=(50.0, 500.0), layer_width=(1, 2), rt_class="hard-rt",
+    ),
+    "soft-rt-medium": ApplicationProfile(
+        name="soft-rt-medium", n_tasks=(6, 14), ops=(3e5, 2e6),
+        comm_volume=(100.0, 2000.0), layer_width=(1, 4), rt_class="soft-rt",
+    ),
+}
+
+
+class TaskGraphGenerator:
+    """Generates random :class:`ApplicationGraph` objects from a profile."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self._counter = 0
+
+    def generate(self, profile: ApplicationProfile, name: Optional[str] = None) -> ApplicationGraph:
+        rng = self.rng
+        self._counter += 1
+        graph_name = name or f"{profile.name}-{self._counter}"
+        n_tasks = rng.randint(*profile.n_tasks)
+
+        # Partition tasks into layers.
+        layers: List[List[int]] = []
+        next_id = 0
+        while next_id < n_tasks:
+            width = min(rng.randint(*profile.layer_width), n_tasks - next_id)
+            layers.append(list(range(next_id, next_id + width)))
+            next_id += width
+
+        tasks = [
+            Task(
+                task_id=i,
+                ops=rng.uniform(*profile.ops),
+                activity=rng.uniform(*profile.activity),
+                name=f"{graph_name}.t{i}",
+            )
+            for i in range(n_tasks)
+        ]
+
+        edges: List[Edge] = []
+        for layer_idx in range(1, len(layers)):
+            earlier = [t for layer in layers[:layer_idx] for t in layer]
+            previous_layer = layers[layer_idx - 1]
+            for dst in layers[layer_idx]:
+                fanin = rng.randint(1, min(profile.max_fanin, len(earlier)))
+                # Always keep one edge from the immediately preceding layer so
+                # depth translates into pipeline structure, then sample the rest.
+                srcs = {rng.choice(previous_layer)}
+                while len(srcs) < fanin:
+                    srcs.add(rng.choice(earlier))
+                for src in sorted(srcs):
+                    edges.append(
+                        Edge(
+                            src=src,
+                            dst=dst,
+                            volume_flits=rng.uniform(*profile.comm_volume),
+                        )
+                    )
+        return ApplicationGraph(
+            graph_name, tasks, edges, rt_class=profile.rt_class
+        )
+
+    def generate_mix(
+        self,
+        profiles: Sequence[ApplicationProfile],
+        weights: Sequence[float],
+        count: int,
+    ) -> List[ApplicationGraph]:
+        """Generate ``count`` graphs drawn from weighted profiles."""
+        if len(profiles) != len(weights) or not profiles:
+            raise ValueError("profiles and weights must be equal-length, non-empty")
+        chosen = self.rng.choices(list(profiles), weights=list(weights), k=count)
+        return [self.generate(profile) for profile in chosen]

@@ -1,0 +1,121 @@
+"""Named workload scenarios.
+
+The evaluation exercises the system under qualitatively different offered
+loads; a scenario bundles the arrival process, profile mix and rate under
+a stable name so experiments and users say *what* they offer the chip,
+not *how* to construct it.
+
+* ``light``     — 2 apps/ms, mostly small apps: abundant idle budget.
+* ``moderate``  — 3 apps/ms mixed: the mapper has placement freedom.
+* ``saturating``— 8 apps/ms mixed: the headline-throughput regime.
+* ``bursty``    — on/off modulated arrivals: the ICCD'14 dynamic regime.
+* ``hotspot``   — saturating stream of small apps: many short tasks churn
+  the same region, creating strongly skewed per-core utilization.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.workload.arrivals import (
+    Arrival,
+    BurstyArrivalProcess,
+    PoissonArrivalProcess,
+)
+from repro.workload.generator import PROFILE_PRESETS, ApplicationProfile
+
+
+@dataclass(frozen=True)
+class WorkloadScenario:
+    """A named offered-load recipe."""
+
+    name: str
+    rate_per_ms: float
+    profile_names: Tuple[str, ...]
+    profile_weights: Tuple[float, ...]
+    bursty: bool = False
+    burst_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_ms <= 0:
+            raise ValueError(f"{self.name}: rate must be positive")
+        if len(self.profile_names) != len(self.profile_weights):
+            raise ValueError(f"{self.name}: profiles/weights mismatch")
+        for profile in self.profile_names:
+            if profile not in PROFILE_PRESETS:
+                raise ValueError(f"{self.name}: unknown profile {profile!r}")
+
+    def profiles(self) -> List[ApplicationProfile]:
+        return [PROFILE_PRESETS[n] for n in self.profile_names]
+
+    def build_process(self, rng: random.Random):
+        if self.bursty:
+            return BurstyArrivalProcess(
+                self.rate_per_ms,
+                self.profiles(),
+                list(self.profile_weights),
+                rng=rng,
+                burst_factor=self.burst_factor,
+            )
+        return PoissonArrivalProcess(
+            self.rate_per_ms,
+            self.profiles(),
+            list(self.profile_weights),
+            rng=rng,
+        )
+
+    def generate(self, horizon_us: float, rng: random.Random) -> List[Arrival]:
+        return self.build_process(rng).generate(horizon_us)
+
+
+SCENARIOS: Dict[str, WorkloadScenario] = {
+    "light": WorkloadScenario(
+        name="light", rate_per_ms=2.0,
+        profile_names=("small", "medium"), profile_weights=(0.7, 0.3),
+    ),
+    "moderate": WorkloadScenario(
+        name="moderate", rate_per_ms=3.0,
+        profile_names=("small", "medium", "large"),
+        profile_weights=(0.4, 0.45, 0.15),
+    ),
+    "saturating": WorkloadScenario(
+        name="saturating", rate_per_ms=8.0,
+        profile_names=("small", "medium", "large"),
+        profile_weights=(0.4, 0.45, 0.15),
+    ),
+    "bursty": WorkloadScenario(
+        name="bursty", rate_per_ms=6.0,
+        profile_names=("small", "medium"), profile_weights=(0.5, 0.5),
+        bursty=True,
+    ),
+    "hotspot": WorkloadScenario(
+        name="hotspot", rate_per_ms=10.0,
+        profile_names=("small",), profile_weights=(1.0,),
+    ),
+    "mixed-criticality": WorkloadScenario(
+        name="mixed-criticality", rate_per_ms=8.0,
+        profile_names=("hard-rt-small", "soft-rt-medium", "large"),
+        profile_weights=(0.3, 0.4, 0.3),
+    ),
+}
+
+
+def get_scenario(name: str) -> WorkloadScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def scenario_config_kwargs(name: str) -> Dict[str, object]:
+    """The SystemConfig fields a scenario pins (for dataclasses.replace)."""
+    scenario = get_scenario(name)
+    return {
+        "arrival_rate_per_ms": scenario.rate_per_ms,
+        "profile_names": scenario.profile_names,
+        "profile_weights": scenario.profile_weights,
+        "bursty": scenario.bursty,
+    }

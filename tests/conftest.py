@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.chip import Chip
+from repro.platform.technology import get_node
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def node16():
+    return get_node("16nm")
+
+
+@pytest.fixture
+def node45():
+    return get_node("45nm")
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def chip44():
+    """Small 4x4 chip at 16 nm with a tight-ish 20 W budget."""
+    return Chip.build(4, 4, "16nm", tdp_w=20.0)
+
+
+@pytest.fixture
+def chip88():
+    return Chip.build(8, 8, "16nm", tdp_w=80.0)

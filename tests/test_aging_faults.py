@@ -1,0 +1,241 @@
+"""Tests for the aging model and fault injection."""
+
+import random
+
+import pytest
+
+from repro.aging.faults import FaultInjector, FaultParameters
+from repro.aging.model import AgingModel, AgingParameters
+from repro.platform.chip import Chip
+from repro.platform.dvfs import build_vf_table
+from repro.platform.technology import get_node
+
+
+@pytest.fixture
+def aging(node16):
+    return AgingModel(node16)
+
+
+@pytest.fixture
+def table(node16):
+    return build_vf_table(node16)
+
+
+# ----------------------------------------------------------------------
+# AgingModel
+# ----------------------------------------------------------------------
+def test_stress_rate_higher_at_higher_voltage(aging, table):
+    assert aging.stress_rate(table.max_level) > aging.stress_rate(table.min_level)
+
+
+def test_stress_rate_scales_with_activity(aging, table):
+    full = aging.stress_rate(table.max_level, 1.0)
+    assert aging.stress_rate(table.max_level, 0.5) == pytest.approx(0.5 * full)
+
+
+def test_stress_rate_at_nominal_equals_base_rate(aging, table):
+    assert aging.stress_rate(table.max_level, 1.0) == pytest.approx(
+        aging.params.base_rate
+    )
+
+
+def test_accrue_busy_updates_both_sinks(aging, table, chip44):
+    core = chip44.core(0)
+    delta = aging.accrue_busy(core, 1000.0, table.max_level, 1.0)
+    assert delta > 0
+    assert core.age_stress == pytest.approx(delta)
+    assert core.stress_since_test == pytest.approx(delta)
+
+
+def test_accrue_test_does_not_touch_stress_since_test(aging, table, chip44):
+    core = chip44.core(0)
+    delta = aging.accrue_test(core, 1000.0, table.max_level)
+    assert delta > 0
+    assert core.age_stress == pytest.approx(delta)
+    assert core.stress_since_test == 0.0
+
+
+def test_accrue_test_reduced_by_fraction(aging, table, chip44):
+    busy = aging.accrue_busy(chip44.core(0), 100.0, table.max_level, 1.0)
+    test = aging.accrue_test(chip44.core(1), 100.0, table.max_level)
+    assert test == pytest.approx(busy * aging.params.test_stress_fraction)
+
+
+def test_accrue_rejects_negative_duration(aging, table, chip44):
+    with pytest.raises(ValueError):
+        aging.accrue_busy(chip44.core(0), -1.0, table.max_level, 1.0)
+    with pytest.raises(ValueError):
+        aging.accrue_test(chip44.core(0), -1.0, table.max_level)
+
+
+def test_aging_parameters_validation():
+    with pytest.raises(ValueError):
+        AgingParameters(base_rate=0.0)
+    with pytest.raises(ValueError):
+        AgingParameters(test_stress_fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# FaultInjector
+# ----------------------------------------------------------------------
+def make_injector(chip, hazard, seed=1, **kwargs):
+    return FaultInjector(
+        chip,
+        FaultParameters(base_hazard_per_us=hazard, **kwargs),
+        random.Random(seed),
+    )
+
+
+def test_zero_hazard_never_injects(chip44):
+    injector = make_injector(chip44, 0.0)
+    for _ in range(100):
+        assert injector.tick(0.0, 100.0) == []
+    assert injector.records == []
+
+
+def test_huge_hazard_injects_everywhere(chip44):
+    injector = make_injector(chip44, 1.0)
+    injected = injector.tick(5.0, 100.0)
+    assert len(injected) == 16
+    assert all(chip44.core(r.core_id).fault_present for r in injected)
+    assert all(r.injected_at == 5.0 for r in injected)
+
+
+def test_no_double_injection(chip44):
+    injector = make_injector(chip44, 1.0)
+    injector.tick(0.0, 100.0)
+    assert injector.tick(1.0, 100.0) == []
+
+
+def test_hazard_grows_with_age_stress(chip44):
+    injector = make_injector(chip44, 1e-6, stress_scale=10.0)
+    fresh = injector.hazard(chip44.core(0))
+    chip44.core(1).age_stress = 20.0
+    assert injector.hazard(chip44.core(1)) == pytest.approx(3.0 * fresh)
+
+
+def test_detection_requires_manifest_corner_high(chip44):
+    injector = make_injector(chip44, 1.0)
+    injector.tick(0.0, 100.0)
+    core = chip44.core(0)
+    record = injector.open_record(core)
+    record.kind = "high"
+    # A high-corner fault never shows strictly below its manifest level.
+    assert (
+        injector.try_detect(core, 10.0, record.manifest_level - 1, coverage=1.0)
+        is None
+    )
+    detected = injector.try_detect(core, 10.0, record.manifest_level, coverage=1.0)
+    assert detected is record
+    assert record.detected_at == 10.0
+    assert record.detection_latency() == pytest.approx(10.0)
+
+
+def test_detection_requires_manifest_corner_low(chip44):
+    injector = make_injector(chip44, 1.0)
+    injector.tick(0.0, 100.0)
+    core = chip44.core(0)
+    record = injector.open_record(core)
+    record.kind = "low"
+    # A low-corner fault never shows strictly above its manifest level.
+    assert (
+        injector.try_detect(core, 10.0, record.manifest_level + 1, coverage=1.0)
+        is None
+    )
+    assert (
+        injector.try_detect(core, 10.0, record.manifest_level, coverage=1.0)
+        is record
+    )
+
+
+def test_manifests_at_directions():
+    from repro.aging.faults import FaultRecord
+
+    high = FaultRecord(core_id=0, injected_at=0.0, manifest_level=4, kind="high")
+    assert high.manifests_at(4) and high.manifests_at(7)
+    assert not high.manifests_at(3)
+    low = FaultRecord(core_id=0, injected_at=0.0, manifest_level=4, kind="low")
+    assert low.manifests_at(4) and low.manifests_at(0)
+    assert not low.manifests_at(5)
+
+
+def test_fault_kind_validation():
+    from repro.aging.faults import FaultRecord
+
+    with pytest.raises(ValueError):
+        FaultRecord(core_id=0, injected_at=0.0, manifest_level=1, kind="weird")
+
+
+def test_low_corner_fraction_extremes(chip44):
+    all_low = make_injector(chip44, 1.0, low_corner_fraction=1.0)
+    all_low.tick(0.0, 100.0)
+    assert all(r.kind == "low" for r in all_low.records)
+    from repro.platform.chip import Chip
+
+    chip2 = Chip.build(4, 4)
+    all_high = FaultInjector(
+        chip2,
+        FaultParameters(base_hazard_per_us=1.0, low_corner_fraction=0.0),
+        random.Random(2),
+    )
+    all_high.tick(0.0, 100.0)
+    assert all(r.kind == "high" for r in all_high.records)
+
+
+def test_detection_respects_coverage_draw(chip44):
+    injector = make_injector(chip44, 1.0, seed=3)
+    injector.tick(0.0, 100.0)
+    core = chip44.core(0)
+    record = injector.open_record(core)
+    record.kind = "high"
+    # Coverage 0 can never detect.
+    assert injector.try_detect(core, 1.0, record.manifest_level, coverage=0.0) is None
+    assert not record.detected
+
+
+def test_detection_on_healthy_core_is_none(chip44):
+    injector = make_injector(chip44, 0.0)
+    assert injector.try_detect(chip44.core(0), 1.0, 7, coverage=1.0) is None
+
+
+def test_detected_and_undetected_partitions(chip44):
+    injector = make_injector(chip44, 1.0)
+    injector.tick(0.0, 100.0)
+    core = chip44.core(0)
+    record = injector.open_record(core)
+    injector.try_detect(core, 5.0, record.manifest_level, coverage=1.0)
+    assert record in injector.detected_records()
+    assert len(injector.detected_records()) + len(injector.undetected_records()) == 16
+
+
+def test_mean_detection_latency(chip44):
+    injector = make_injector(chip44, 1.0)
+    injector.tick(0.0, 100.0)
+    assert injector.mean_detection_latency() is None
+    for core_id in (0, 1):
+        core = chip44.core(core_id)
+        record = injector.open_record(core)
+        injector.try_detect(core, 10.0, record.manifest_level, coverage=1.0)
+    assert injector.mean_detection_latency() == pytest.approx(10.0)
+
+
+def test_manifest_levels_within_table(chip44):
+    injector = make_injector(chip44, 1.0)
+    injector.tick(0.0, 100.0)
+    n = len(chip44.vf_table)
+    assert all(0 <= r.manifest_level < n for r in injector.records)
+
+
+def test_manifest_fraction_restricts_range(chip44):
+    injector = make_injector(chip44, 1.0, max_manifest_fraction=0.25)
+    injector.tick(0.0, 100.0)
+    assert all(r.manifest_level < 2 for r in injector.records)
+
+
+def test_fault_parameters_validation():
+    with pytest.raises(ValueError):
+        FaultParameters(base_hazard_per_us=-1.0)
+    with pytest.raises(ValueError):
+        FaultParameters(stress_scale=0.0)
+    with pytest.raises(ValueError):
+        FaultParameters(max_manifest_fraction=0.0)

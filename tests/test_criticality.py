@@ -1,0 +1,104 @@
+"""Tests for the test-criticality metric."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.criticality import CriticalityParameters, TestCriticality
+
+
+@pytest.fixture
+def metric():
+    return TestCriticality(
+        CriticalityParameters(
+            stress_weight=0.7,
+            time_weight=0.3,
+            stress_reference=4.0,
+            time_reference_us=4000.0,
+            threshold=1.0,
+        )
+    )
+
+
+def test_zero_right_after_test(metric, chip44):
+    core = chip44.core(0)
+    core.last_test_end = 100.0
+    core.stress_since_test = 0.0
+    assert metric.value(core, now=100.0) == 0.0
+
+
+def test_value_combines_terms(metric, chip44):
+    core = chip44.core(0)
+    core.stress_since_test = 4.0      # one stress unit
+    core.last_test_end = 0.0
+    assert metric.value(core, now=4000.0) == pytest.approx(0.7 + 0.3)
+
+
+def test_value_grows_with_stress(metric, chip44):
+    a, b = chip44.core(0), chip44.core(1)
+    a.stress_since_test = 1.0
+    b.stress_since_test = 2.0
+    assert metric.value(b, 0.0) > metric.value(a, 0.0)
+
+
+def test_value_grows_with_time(metric, chip44):
+    core = chip44.core(0)
+    assert metric.value(core, 2000.0) < metric.value(core, 8000.0)
+
+
+def test_stressed_core_due_much_earlier(metric, chip44):
+    """The adaptivity property: busy cores cross the threshold sooner."""
+    idle, hot = chip44.core(0), chip44.core(1)
+    hot.stress_since_test = 8.0   # heavy stress
+    # Idle core is not due until t = T_ref/w_t ~ 13333 µs.
+    assert not metric.is_due(idle, now=6000.0)
+    assert metric.is_due(hot, now=6000.0)
+    assert metric.is_due(idle, now=14000.0)
+
+
+def test_rank_most_critical_first(metric, chip44):
+    cores = [chip44.core(i) for i in range(4)]
+    for i, core in enumerate(cores):
+        core.stress_since_test = float(i)
+    ranked = metric.rank(cores, now=0.0)
+    assert [c.core_id for c in ranked] == [3, 2, 1, 0]
+
+
+def test_rank_tie_breaks_by_core_id(metric, chip44):
+    cores = [chip44.core(i) for i in (3, 1, 2)]
+    ranked = metric.rank(cores, now=0.0)
+    assert [c.core_id for c in ranked] == [1, 2, 3]
+
+
+def test_time_term_clamped_at_zero_for_future_last_test(metric, chip44):
+    core = chip44.core(0)
+    core.last_test_end = 100.0
+    assert metric.value(core, now=50.0) == 0.0
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        CriticalityParameters(stress_weight=-0.1)
+    with pytest.raises(ValueError):
+        CriticalityParameters(stress_weight=0.0, time_weight=0.0)
+    with pytest.raises(ValueError):
+        CriticalityParameters(stress_reference=0.0)
+    with pytest.raises(ValueError):
+        CriticalityParameters(time_reference_us=0.0)
+    with pytest.raises(ValueError):
+        CriticalityParameters(threshold=0.0)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=100.0),
+    st.floats(min_value=0.0, max_value=100.0),
+    st.floats(min_value=0.0, max_value=1e5),
+)
+def test_value_monotonic_in_stress(stress_a, stress_b, now):
+    metric = TestCriticality(CriticalityParameters())
+    from repro.platform.chip import Chip
+
+    chip = Chip.build(2, 2)
+    a, b = chip.core(0), chip.core(1)
+    a.stress_since_test = min(stress_a, stress_b)
+    b.stress_since_test = max(stress_a, stress_b)
+    assert metric.value(a, now) <= metric.value(b, now)

@@ -1,0 +1,103 @@
+"""Tests for the DVFS ladder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.platform.dvfs import VFLevel, VFTable, build_vf_table
+from repro.platform.technology import get_node
+
+
+@pytest.fixture
+def table(node16):
+    return build_vf_table(node16, n_levels=8)
+
+
+def test_table_has_requested_levels(table):
+    assert len(table) == 8
+
+
+def test_levels_indexed_in_order(table):
+    for i, level in enumerate(table):
+        assert level.index == i
+
+
+def test_bottom_level_is_near_threshold(node16, table):
+    assert table.min_level.vdd == pytest.approx(node16.vdd_min)
+
+
+def test_top_level_is_nominal(node16, table):
+    assert table.max_level.vdd == pytest.approx(node16.vdd_nominal)
+    assert table.max_level.f_mhz == pytest.approx(node16.f_nominal_mhz)
+
+
+def test_levels_strictly_increasing(table):
+    for slow, fast in zip(list(table), list(table)[1:]):
+        assert fast.vdd > slow.vdd
+        assert fast.f_mhz > slow.f_mhz
+
+
+def test_speed_equals_frequency(table):
+    assert table[3].speed == table[3].f_mhz
+
+
+def test_clamp_bounds(table):
+    assert table.clamp(-5).index == 0
+    assert table.clamp(99).index == len(table) - 1
+    assert table.clamp(4).index == 4
+
+
+def test_step_up_and_down(table):
+    level = table[3]
+    assert table.step(level, +2).index == 5
+    assert table.step(level, -2).index == 1
+    assert table.step(table.max_level, +1).index == len(table) - 1
+    assert table.step(table.min_level, -1).index == 0
+
+
+def test_fastest_not_exceeding(table):
+    target = table[4].f_mhz
+    assert table.fastest_not_exceeding(target).index == 4
+    assert table.fastest_not_exceeding(target - 1.0).index == 3
+
+
+def test_fastest_not_exceeding_falls_back_to_floor(table):
+    assert table.fastest_not_exceeding(0.0).index == 0
+
+
+def test_build_rejects_single_level(node16):
+    with pytest.raises(ValueError):
+        build_vf_table(node16, n_levels=1)
+
+
+def test_table_rejects_bad_indices():
+    levels = [VFLevel(0, 0.5, 100.0), VFLevel(5, 0.6, 200.0)]
+    with pytest.raises(ValueError):
+        VFTable(levels)
+
+
+def test_table_rejects_non_monotonic_levels():
+    levels = [VFLevel(0, 0.6, 200.0), VFLevel(1, 0.5, 100.0)]
+    with pytest.raises(ValueError):
+        VFTable(levels)
+
+
+def test_table_rejects_empty():
+    with pytest.raises(ValueError):
+        VFTable([])
+
+
+@given(st.integers(min_value=2, max_value=16))
+def test_any_size_table_spans_min_to_nominal(n_levels):
+    node = get_node("22nm")
+    table = build_vf_table(node, n_levels=n_levels)
+    assert len(table) == n_levels
+    assert table.min_level.vdd == pytest.approx(node.vdd_min)
+    assert table.max_level.vdd == pytest.approx(node.vdd_nominal)
+
+
+@given(st.integers(min_value=-3, max_value=12), st.integers(min_value=-12, max_value=12))
+def test_step_always_lands_in_range(start, delta):
+    table = build_vf_table(get_node("16nm"), n_levels=8)
+    level = table.clamp(start)
+    stepped = table.step(level, delta)
+    assert 0 <= stepped.index < len(table)

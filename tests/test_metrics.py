@@ -1,0 +1,145 @@
+"""Tests for metric collection and report formatting."""
+
+import pytest
+
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.report import format_series, format_table, sparkline
+from repro.power.budget import PowerBudget
+from repro.power.meter import PowerBreakdown
+from repro.workload.application import ApplicationGraph, ApplicationInstance
+from repro.workload.task import Task
+
+
+@pytest.fixture
+def collector():
+    return MetricsCollector(PowerBudget(50.0))
+
+
+def app_instance(app_id=1, arrival=0.0, ops=1000.0):
+    graph = ApplicationGraph("a", [Task(0, ops=ops)], [])
+    return ApplicationInstance(app_id, graph, arrival)
+
+
+# ----------------------------------------------------------------------
+# Collector
+# ----------------------------------------------------------------------
+def test_app_lifecycle_counters(collector):
+    app = app_instance()
+    collector.on_app_arrival(app, 0.0)
+    collector.on_app_admitted(app, 5.0)
+    app.start_time = 5.0
+    collector.on_app_finished(app, 20.0)
+    assert collector.apps_arrived == 1
+    assert collector.apps_admitted == 1
+    assert collector.apps_completed == 1
+    record = collector.app_records[0]
+    assert record.waiting_time == pytest.approx(5.0)
+    assert record.turnaround == pytest.approx(20.0)
+
+
+def test_task_and_ops_counters(collector):
+    collector.on_task_finished(1000.0, 1.0)
+    collector.on_task_finished(500.0, 2.0)
+    assert collector.tasks_completed == 2
+    assert collector.ops_completed == pytest.approx(1500.0)
+    assert collector.throughput_ops_per_us(100.0) == pytest.approx(15.0)
+
+
+def test_power_sampling_feeds_trace_and_audit(collector):
+    collector.sample_power(0.0, PowerBreakdown(10.0, 1.0, 2.0, 0.5))
+    collector.sample_power(10.0, PowerBreakdown(60.0, 1.0, 2.0, 0.0))
+    assert collector.trace.last("power.total") == pytest.approx(63.0)
+    assert collector.audit.violations == 1
+
+
+def test_energy_and_share(collector):
+    collector.sample_power(0.0, PowerBreakdown(workload=8.0, test=2.0, leakage=0.0, noc=0.0))
+    collector.sample_power(100.0, PowerBreakdown(workload=0.0, test=0.0, leakage=0.0, noc=0.0))
+    assert collector.energy_uj("test", 100.0) == pytest.approx(200.0)
+    assert collector.test_power_share(100.0) == pytest.approx(0.2)
+    assert collector.average_power(100.0) == pytest.approx(10.0)
+
+
+def test_share_zero_when_no_energy(collector):
+    assert collector.test_power_share(100.0) == 0.0
+
+
+def test_mean_waiting_none_without_apps(collector):
+    assert collector.mean_waiting_time() is None
+    assert collector.mean_turnaround() is None
+
+
+def test_apps_per_ms(collector):
+    app = app_instance()
+    app.start_time = 0.0
+    collector.on_app_finished(app, 10.0)
+    assert collector.apps_per_ms(2000.0) == pytest.approx(0.5)
+
+
+def test_rate_rejects_bad_horizon(collector):
+    with pytest.raises(ValueError):
+        collector.throughput_ops_per_us(0.0)
+    with pytest.raises(ValueError):
+        collector.apps_per_ms(-1.0)
+
+
+def test_count_sampling(collector):
+    collector.sample_counts(0.0, busy=3, testing=1, idle=12, queued=2)
+    assert collector.trace.last("cores.busy") == 3.0
+    assert collector.trace.last("queue.length") == 2.0
+
+
+# ----------------------------------------------------------------------
+# Report formatting
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "-" in lines[1]
+    assert lines[2].endswith("1.000")
+
+
+def test_format_table_title_and_precision():
+    out = format_table(["x"], [[1.23456]], precision=1, title="T")
+    assert out.splitlines()[0] == "T"
+    assert "1.2" in out
+
+
+def test_format_table_validates_shapes():
+    with pytest.raises(ValueError):
+        format_table([], [])
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_format_series_downsamples():
+    xs = list(range(100))
+    ys = [float(x) for x in xs]
+    out = format_series("s", xs, ys, max_points=10)
+    # Header + separator + at most 10 data rows + title.
+    assert len(out.splitlines()) <= 13
+
+
+def test_format_series_length_mismatch():
+    with pytest.raises(ValueError):
+        format_series("s", [1, 2], [1.0])
+
+
+def test_sparkline_shape():
+    line = sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_flat_series():
+    assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_downsamples_to_width():
+    assert len(sparkline(list(range(500)), width=60)) == 60

@@ -1,0 +1,179 @@
+"""Tests for the NoC substrate: topology, XY routing, analytic model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.model import NocModel, NocParameters
+from repro.noc.routing import xy_links, xy_path
+from repro.noc.topology import Mesh
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(4, 4)
+
+
+@pytest.fixture
+def noc(mesh):
+    return NocModel(mesh)
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+def test_mesh_size(mesh):
+    assert len(mesh) == 16
+
+
+def test_node_id_roundtrip(mesh):
+    for pos in mesh.positions():
+        assert mesh.position(mesh.node_id(pos)) == pos
+
+
+def test_node_id_out_of_mesh(mesh):
+    with pytest.raises(IndexError):
+        mesh.node_id((4, 0))
+    with pytest.raises(IndexError):
+        mesh.position(16)
+
+
+def test_neighbors_counts(mesh):
+    assert len(mesh.neighbors((0, 0))) == 2
+    assert len(mesh.neighbors((1, 0))) == 3
+    assert len(mesh.neighbors((1, 1))) == 4
+
+
+def test_manhattan_and_hops(mesh):
+    assert Mesh.manhattan((0, 0), (3, 2)) == 5
+    assert mesh.hop_count((0, 0), (3, 2)) == 5
+    assert mesh.hop_count((2, 2), (2, 2)) == 0
+
+
+def test_invalid_mesh_rejected():
+    with pytest.raises(ValueError):
+        Mesh(0, 3)
+
+
+# ----------------------------------------------------------------------
+# XY routing
+# ----------------------------------------------------------------------
+def test_xy_path_endpoints(mesh):
+    path = xy_path(mesh, (0, 0), (3, 2))
+    assert path[0] == (0, 0)
+    assert path[-1] == (3, 2)
+
+
+def test_xy_path_corrects_x_first(mesh):
+    path = xy_path(mesh, (0, 0), (2, 2))
+    assert path == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+
+def test_xy_path_handles_negative_directions(mesh):
+    path = xy_path(mesh, (3, 3), (1, 1))
+    assert path == [(3, 3), (2, 3), (1, 3), (1, 2), (1, 1)]
+
+
+def test_xy_path_self_is_single_node(mesh):
+    assert xy_path(mesh, (1, 1), (1, 1)) == [(1, 1)]
+
+
+def test_xy_links_count_equals_hops(mesh):
+    links = xy_links(mesh, (0, 0), (3, 2))
+    assert len(links) == 5
+
+
+def test_xy_path_outside_mesh_rejected(mesh):
+    with pytest.raises(IndexError):
+        xy_path(mesh, (0, 0), (9, 9))
+
+
+@given(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    st.tuples(st.integers(0, 5), st.integers(0, 5)),
+)
+def test_xy_path_length_is_manhattan_plus_one(src, dst):
+    mesh = Mesh(6, 6)
+    path = xy_path(mesh, src, dst)
+    assert len(path) == Mesh.manhattan(src, dst) + 1
+    # Consecutive nodes are mesh-adjacent.
+    for a, b in zip(path, path[1:]):
+        assert Mesh.manhattan(a, b) == 1
+
+
+# ----------------------------------------------------------------------
+# Analytic model
+# ----------------------------------------------------------------------
+def test_estimate_zero_volume_free(noc):
+    est = noc.estimate((0, 0), (3, 3), 0.0)
+    assert est.latency_us == 0.0
+    assert est.energy_uj == 0.0
+
+
+def test_estimate_same_node_free(noc):
+    est = noc.estimate((1, 1), (1, 1), 500.0)
+    assert est.latency_us == 0.0
+    assert est.hops == 0
+
+
+def test_estimate_latency_components(noc):
+    p = noc.params
+    est = noc.estimate((0, 0), (2, 0), 1000.0)
+    expected = 2 * p.router_delay_us + 1000.0 / p.bandwidth_flits_per_us
+    assert est.latency_us == pytest.approx(expected)
+
+
+def test_estimate_energy_formula(noc):
+    p = noc.params
+    est = noc.estimate((0, 0), (2, 0), 100.0)
+    expected_pj = 100.0 * (2 * p.e_link_pj + 3 * p.e_router_pj)
+    assert est.energy_uj == pytest.approx(expected_pj * 1e-6)
+
+
+def test_contention_raises_latency(noc):
+    free = noc.estimate((0, 0), (3, 0), 1000.0)
+    noc.begin_transfer((0, 0), (3, 0), 2000.0)
+    loaded = noc.estimate((0, 0), (3, 0), 1000.0)
+    assert loaded.latency_us > free.latency_us
+
+
+def test_disjoint_paths_do_not_contend(noc):
+    noc.begin_transfer((0, 0), (3, 0), 2000.0)
+    est = noc.estimate((0, 3), (3, 3), 1000.0)
+    assert est.max_link_load == 0.0
+
+
+def test_begin_end_transfer_balances_load(noc):
+    noc.begin_transfer((0, 0), (3, 0), 500.0)
+    noc.end_transfer((0, 0), (3, 0), 500.0)
+    assert noc.estimate((0, 0), (3, 0), 100.0).max_link_load == 0.0
+
+
+def test_release_below_zero_rejected(noc):
+    noc.begin_transfer((0, 0), (1, 0), 100.0)
+    noc.end_transfer((0, 0), (1, 0), 100.0)
+    with pytest.raises(ValueError):
+        noc.end_transfer((0, 0), (1, 0), 100.0)
+
+
+def test_totals_accumulate(noc):
+    noc.begin_transfer((0, 0), (2, 0), 100.0)
+    noc.begin_transfer((0, 0), (0, 3), 50.0)
+    assert noc.total_flits == 150.0
+    assert noc.total_flit_hops == 100.0 * 2 + 50.0 * 3
+    assert noc.average_hops() == pytest.approx((200.0 + 150.0) / 150.0)
+
+
+def test_average_hops_empty(noc):
+    assert noc.average_hops() == 0.0
+
+
+def test_negative_volume_rejected(noc):
+    with pytest.raises(ValueError):
+        noc.estimate((0, 0), (1, 0), -1.0)
+
+
+def test_parameters_validation():
+    with pytest.raises(ValueError):
+        NocParameters(bandwidth_flits_per_us=0.0)
+    with pytest.raises(ValueError):
+        NocParameters(router_delay_us=-1.0)

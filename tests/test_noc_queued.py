@@ -1,0 +1,96 @@
+"""Tests for the queued (store-and-forward) NoC model."""
+
+import pytest
+
+from repro.noc.model import NocParameters
+from repro.noc.queued import QueuedNocModel
+from repro.noc.topology import Mesh
+
+
+@pytest.fixture
+def noc():
+    return QueuedNocModel(Mesh(4, 4))
+
+
+def test_uncontended_latency_is_store_and_forward(noc):
+    p = noc.params
+    est = noc.estimate((0, 0), (2, 0), 1000.0)
+    serial = 1000.0 / p.bandwidth_flits_per_us
+    expected = 2 * (p.router_delay_us + serial)
+    assert est.latency_us == pytest.approx(expected)
+    assert est.hops == 2
+
+
+def test_zero_volume_or_same_node_free(noc):
+    assert noc.estimate((0, 0), (3, 3), 0.0).latency_us == 0.0
+    assert noc.estimate((1, 1), (1, 1), 500.0).latency_us == 0.0
+
+
+def test_second_message_queues_behind_first(noc):
+    first = noc.begin_transfer((0, 0), (3, 0), 1000.0, now=0.0)
+    second = noc.begin_transfer((0, 0), (3, 0), 1000.0, now=0.0)
+    assert second.latency_us > first.latency_us
+    assert second.max_link_load > 0.0  # waited in a queue
+
+
+def test_reservations_expire_with_time(noc):
+    first = noc.begin_transfer((0, 0), (3, 0), 1000.0, now=0.0)
+    late = noc.begin_transfer(
+        (0, 0), (3, 0), 1000.0, now=first.latency_us + 1.0
+    )
+    assert late.latency_us == pytest.approx(first.latency_us)
+
+
+def test_disjoint_paths_never_queue(noc):
+    noc.begin_transfer((0, 0), (3, 0), 5000.0, now=0.0)
+    other = noc.begin_transfer((0, 3), (3, 3), 1000.0, now=0.0)
+    assert other.max_link_load == 0.0
+
+
+def test_estimate_does_not_commit(noc):
+    noc.estimate((0, 0), (3, 0), 1000.0, now=0.0)
+    fresh = noc.begin_transfer((0, 0), (3, 0), 1000.0, now=0.0)
+    assert fresh.max_link_load == 0.0
+
+
+def test_energy_matches_analytic_formula(noc):
+    p = noc.params
+    est = noc.estimate((0, 0), (2, 0), 100.0)
+    expected_pj = 100.0 * (2 * p.e_link_pj + 3 * p.e_router_pj)
+    assert est.energy_uj == pytest.approx(expected_pj * 1e-6)
+
+
+def test_totals_and_average_hops(noc):
+    noc.begin_transfer((0, 0), (2, 0), 100.0, now=0.0)
+    noc.begin_transfer((0, 0), (0, 3), 50.0, now=0.0)
+    assert noc.total_flits == 150.0
+    assert noc.average_hops() == pytest.approx((200.0 + 150.0) / 150.0)
+    assert noc.total_energy_uj > 0.0
+
+
+def test_end_transfer_is_noop(noc):
+    noc.begin_transfer((0, 0), (1, 0), 100.0, now=0.0)
+    noc.end_transfer((0, 0), (1, 0), 100.0)  # must not raise
+
+
+def test_validation(noc):
+    with pytest.raises(ValueError):
+        noc.estimate((0, 0), (1, 0), -1.0)
+    with pytest.raises(ValueError):
+        noc.estimate((0, 0), (1, 0), 1.0, now=-1.0)
+
+
+def test_system_runs_with_queued_mode():
+    from repro.core.system import SystemConfig, run_system
+
+    result = run_system(
+        SystemConfig(noc_mode="queued", horizon_us=5_000.0, seed=3)
+    )
+    assert result.metrics.apps_completed > 0
+
+
+def test_system_rejects_unknown_noc_mode():
+    from repro.core.system import SystemConfig, run_system
+
+    with pytest.raises(ValueError, match="noc_mode"):
+        run_system(SystemConfig(noc_mode="wormhole", horizon_us=1_000.0))

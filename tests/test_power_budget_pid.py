@@ -1,0 +1,120 @@
+"""Tests for the power budget, audit, and the PID controller."""
+
+import pytest
+
+from repro.power.budget import BudgetAudit, PowerBudget
+from repro.power.pid import PIDController, PIDGains
+
+
+# ----------------------------------------------------------------------
+# PowerBudget
+# ----------------------------------------------------------------------
+def test_guarded_cap_below_cap():
+    b = PowerBudget(100.0, guard_fraction=0.05)
+    assert b.cap == 100.0
+    assert b.guarded_cap == pytest.approx(95.0)
+
+
+def test_headroom():
+    b = PowerBudget(100.0, guard_fraction=0.0)
+    assert b.headroom(60.0) == pytest.approx(40.0)
+    assert b.headroom(120.0) == pytest.approx(-20.0)
+
+
+def test_violated_uses_hard_cap():
+    b = PowerBudget(100.0, guard_fraction=0.1)
+    assert not b.violated(95.0)   # above guarded cap but under hard cap
+    assert b.violated(100.1)
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        PowerBudget(0.0)
+    with pytest.raises(ValueError):
+        PowerBudget(10.0, guard_fraction=1.0)
+
+
+# ----------------------------------------------------------------------
+# BudgetAudit
+# ----------------------------------------------------------------------
+def test_audit_counts_violations():
+    audit = BudgetAudit(PowerBudget(50.0))
+    audit.observe(0.0, 40.0)
+    audit.observe(1.0, 55.0)
+    audit.observe(2.0, 60.0)
+    assert audit.samples == 3
+    assert audit.violations == 2
+    assert audit.violation_rate == pytest.approx(2 / 3)
+    assert audit.worst_overshoot_w == pytest.approx(10.0)
+    assert audit.violation_times() == [1.0, 2.0]
+
+
+def test_audit_empty():
+    audit = BudgetAudit(PowerBudget(50.0))
+    assert audit.violation_rate == 0.0
+
+
+# ----------------------------------------------------------------------
+# PIDController
+# ----------------------------------------------------------------------
+def test_pid_signal_sign_tracks_error():
+    pid = PIDController(set_point=50.0)
+    assert pid.update(measured=30.0, dt=1.0) > 0.0   # headroom -> speed up
+    pid.reset()
+    assert pid.update(measured=70.0, dt=1.0) < 0.0   # over budget -> slow
+
+
+def test_pid_proportional_only():
+    pid = PIDController(50.0, PIDGains(kp=2.0, ki=0.0, kd=0.0))
+    assert pid.update(40.0, dt=1.0) == pytest.approx(20.0)
+
+
+def test_pid_integral_accumulates():
+    pid = PIDController(50.0, PIDGains(kp=0.0, ki=1.0, kd=0.0))
+    assert pid.update(40.0, dt=1.0) == pytest.approx(10.0)
+    assert pid.update(40.0, dt=1.0) == pytest.approx(20.0)
+
+
+def test_pid_integral_anti_windup_clamps():
+    pid = PIDController(50.0, PIDGains(kp=0.0, ki=1.0, kd=0.0), integral_limit=15.0)
+    for _ in range(10):
+        signal = pid.update(0.0, dt=1.0)
+    assert signal == pytest.approx(15.0)
+
+
+def test_pid_derivative_reacts_to_error_change():
+    pid = PIDController(50.0, PIDGains(kp=0.0, ki=0.0, kd=1.0))
+    # First sample is primed: no derivative kick.
+    assert pid.update(40.0, dt=1.0) == pytest.approx(0.0)
+    # Error went from +10 to -10 => derivative -20.
+    assert pid.update(60.0, dt=1.0) == pytest.approx(-20.0)
+
+
+def test_pid_converges_on_first_order_plant():
+    """Closed loop: power follows actuation with lag; must settle near 50."""
+    pid = PIDController(50.0, PIDGains(kp=0.5, ki=0.2, kd=0.0))
+    power = 0.0
+    for _ in range(300):
+        signal = pid.update(power, dt=1.0)
+        # plant: power moves 30% of the way towards (power + signal)
+        power += 0.3 * signal
+    assert power == pytest.approx(50.0, abs=1.0)
+
+
+def test_pid_reset_clears_state():
+    pid = PIDController(50.0, PIDGains(kp=0.0, ki=1.0, kd=0.0))
+    pid.update(0.0, dt=1.0)
+    pid.reset()
+    assert pid.update(40.0, dt=1.0) == pytest.approx(10.0)
+
+
+def test_pid_rejects_bad_dt():
+    with pytest.raises(ValueError):
+        PIDController(50.0).update(10.0, dt=0.0)
+
+
+def test_pid_gain_validation():
+    with pytest.raises(ValueError):
+        PIDGains(kp=-1.0)
+    with pytest.raises(ValueError):
+        PIDController(50.0, integral_limit=0.0)

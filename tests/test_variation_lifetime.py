@@ -1,0 +1,185 @@
+"""Tests for process variation and lifetime-reliability analysis."""
+
+import math
+import random
+
+import pytest
+
+from repro.aging.lifetime import (
+    LifetimeAnalyzer,
+    LifetimeParameters,
+    LifetimeReport,
+)
+from repro.platform.chip import Chip
+from repro.platform.variation import VariationModel, VariationParameters
+
+
+# ----------------------------------------------------------------------
+# VariationModel
+# ----------------------------------------------------------------------
+def test_apply_sets_factors_within_clip(chip88):
+    params = VariationParameters()
+    VariationModel(params, random.Random(1)).apply(chip88)
+    for core in chip88:
+        assert params.min_factor <= core.speed_factor <= params.max_factor
+        assert core.leak_factor >= 0.5
+
+
+def test_variation_is_deterministic_per_seed(chip88):
+    VariationModel(rng=random.Random(7)).apply(chip88)
+    first = [c.speed_factor for c in chip88]
+    chip2 = Chip.build(8, 8)
+    VariationModel(rng=random.Random(7)).apply(chip2)
+    assert [c.speed_factor for c in chip2] == first
+
+
+def test_variation_differs_across_seeds(chip88):
+    VariationModel(rng=random.Random(1)).apply(chip88)
+    first = [c.speed_factor for c in chip88]
+    chip2 = Chip.build(8, 8)
+    VariationModel(rng=random.Random(2)).apply(chip2)
+    assert [c.speed_factor for c in chip2] != first
+
+
+def test_zero_variation_gives_uniform_chip(chip88):
+    params = VariationParameters(sigma_systematic=0.0, sigma_random=0.0)
+    VariationModel(params, random.Random(1)).apply(chip88)
+    assert all(c.speed_factor == pytest.approx(1.0) for c in chip88)
+    assert all(c.leak_factor == pytest.approx(1.0) for c in chip88)
+    assert VariationModel.spread(chip88) == pytest.approx(1.0)
+
+
+def test_fast_cores_leak_more(chip88):
+    VariationModel(rng=random.Random(3)).apply(chip88)
+    fastest = max(chip88, key=lambda c: c.speed_factor)
+    slowest = min(chip88, key=lambda c: c.speed_factor)
+    assert fastest.leak_factor > slowest.leak_factor
+
+
+def test_systematic_gradient_visible(chip88):
+    """With only the systematic component, factors vary smoothly."""
+    params = VariationParameters(sigma_systematic=0.05, sigma_random=0.0)
+    VariationModel(params, random.Random(5)).apply(chip88)
+    spread = VariationModel.spread(chip88)
+    assert spread > 1.02  # gradient produced a real spread
+
+
+def test_variation_parameter_validation():
+    with pytest.raises(ValueError):
+        VariationParameters(sigma_random=-0.1)
+    with pytest.raises(ValueError):
+        VariationParameters(min_factor=1.1)
+
+
+def test_variation_affects_task_duration(chip88):
+    core = chip88.core(0)
+    core.speed_factor = 0.5
+    level = chip88.vf_table.max_level
+    assert core.speed_at(level) == pytest.approx(0.5 * level.speed)
+
+
+# ----------------------------------------------------------------------
+# LifetimeAnalyzer
+# ----------------------------------------------------------------------
+@pytest.fixture
+def analyzer():
+    return LifetimeAnalyzer(LifetimeParameters(eta_stress=100.0, beta=2.0))
+
+
+def test_reliability_fresh_core(analyzer):
+    assert analyzer.reliability(0.0) == 1.0
+
+
+def test_reliability_weibull_form(analyzer):
+    assert analyzer.reliability(100.0) == pytest.approx(math.exp(-1.0))
+    assert analyzer.reliability(50.0) == pytest.approx(math.exp(-0.25))
+
+
+def test_reliability_monotone_decreasing(analyzer):
+    values = [analyzer.reliability(s) for s in (0.0, 10.0, 50.0, 200.0)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_reliability_rejects_negative(analyzer):
+    with pytest.raises(ValueError):
+        analyzer.reliability(-1.0)
+
+
+def test_expected_failure_time_scales_inverse_rate(analyzer):
+    slow = analyzer.expected_failure_time_us(10.0, horizon_us=1000.0)
+    fast = analyzer.expected_failure_time_us(20.0, horizon_us=1000.0)
+    assert slow == pytest.approx(2.0 * fast)
+
+
+def test_expected_failure_time_infinite_for_unstressed(analyzer):
+    assert math.isinf(analyzer.expected_failure_time_us(0.0, 1000.0))
+
+
+def test_mean_life_stress_gamma(analyzer):
+    expected = 100.0 * math.gamma(1.5)
+    assert analyzer.params.mean_life_stress == pytest.approx(expected)
+
+
+def test_analyze_report_fields(analyzer):
+    report = analyzer.analyze({0: 10.0, 1: 20.0, 2: 30.0}, horizon_us=1000.0)
+    assert isinstance(report, LifetimeReport)
+    assert report.stress_mean == pytest.approx(20.0)
+    assert report.stress_max == pytest.approx(30.0)
+    assert report.wear_imbalance == pytest.approx(1.5)
+    assert report.min_reliability == analyzer.reliability(30.0)
+    # First failure comes from the most-stressed core.
+    assert report.expected_lifetime_us == pytest.approx(
+        analyzer.expected_failure_time_us(30.0, 1000.0)
+    )
+
+
+def test_analyze_kth_failure_criterion():
+    analyzer = LifetimeAnalyzer(
+        LifetimeParameters(eta_stress=100.0, beta=2.0, failure_core_count=2)
+    )
+    report = analyzer.analyze({0: 10.0, 1: 20.0, 2: 40.0}, horizon_us=1000.0)
+    # Chip dies at the SECOND failure: the 20-stress core.
+    assert report.expected_lifetime_us == pytest.approx(
+        analyzer.expected_failure_time_us(20.0, 1000.0)
+    )
+
+
+def test_analyze_rejects_empty(analyzer):
+    with pytest.raises(ValueError):
+        analyzer.analyze({}, 1000.0)
+
+
+def test_analyze_chip_reads_age_stress(analyzer, chip44):
+    chip44.core(0).age_stress = 50.0
+    report = analyzer.analyze_chip(chip44, horizon_us=1000.0)
+    assert report.stress_max == pytest.approx(50.0)
+
+
+def test_wear_levelling_extends_lifetime(analyzer):
+    """Same total stress, levelled vs. concentrated: levelled lives longer."""
+    concentrated = analyzer.analyze({0: 90.0, 1: 5.0, 2: 5.0}, 1000.0)
+    levelled = analyzer.analyze({0: 34.0, 1: 33.0, 2: 33.0}, 1000.0)
+    gain = LifetimeAnalyzer.lifetime_gain_pct(concentrated, levelled)
+    assert gain > 100.0  # max stress dropped ~2.6x
+
+
+def test_lifetime_gain_zero_for_infinite_baseline(analyzer):
+    baseline = analyzer.analyze({0: 0.0}, 1000.0)
+    improved = analyzer.analyze({0: 0.0}, 1000.0)
+    assert LifetimeAnalyzer.lifetime_gain_pct(baseline, improved) == 0.0
+
+
+def test_lifetime_hours_conversion(analyzer):
+    report = analyzer.analyze({0: 10.0}, horizon_us=1000.0)
+    assert report.expected_lifetime_hours == pytest.approx(
+        report.expected_lifetime_us / 3.6e9
+    )
+
+
+def test_lifetime_parameter_validation():
+    with pytest.raises(ValueError):
+        LifetimeParameters(eta_stress=0.0)
+    with pytest.raises(ValueError):
+        LifetimeParameters(beta=0.0)
+    with pytest.raises(ValueError):
+        LifetimeParameters(failure_core_count=0)
