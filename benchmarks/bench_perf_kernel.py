@@ -1,0 +1,195 @@
+"""Simulation fast-path benchmark: events/sec and result-identity gate.
+
+This is the performance kernel smoke for the simulation fast path
+(incremental power metering, indexed chip state, cached NoC routing).
+It measures two things on the default-scale E2 workload (8x8 mesh at
+16 nm, 60 ms horizon):
+
+* **wall clock** of the E2 throughput-penalty runner across four seeds
+  (16 simulations), compared against the pre-optimisation baseline
+  recorded in ``BENCH_perf.json``;
+* **events/sec** of a single E2-style power-aware run (``events_fired``
+  divided by its wall time) — the per-simulation kernel throughput.
+
+It also guards *correctness*: the fast path must be an exact refactor,
+so the E2 result rows are hashed (full-precision ``repr``) and compared
+byte-for-byte against the digest recorded with the pre-optimisation
+code, and — when the parallel harness is available — a ``jobs=4`` run
+must produce the identical digest as the serial run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_kernel.py                 # compare vs baseline
+    PYTHONPATH=src python benchmarks/bench_perf_kernel.py --write-baseline
+    PYTHONPATH=src python benchmarks/bench_perf_kernel.py --strict        # also require >= 3x
+    PYTHONPATH=src python benchmarks/bench_perf_kernel.py --horizon-us 12000  # CI smoke scale
+
+Exit status is non-zero on any digest mismatch (and, with ``--strict``,
+when the speedup floor is missed).  Speedup numbers are only meaningful
+on the machine that recorded the baseline; digests are meaningful
+everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import inspect
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.system import run_system
+from repro.experiments.runners import DEFAULT_CONFIG, run_e2_throughput_penalty
+
+#: Seeds of the default-scale E2 sweep (4 seeds x 4 policies = 16 runs).
+SEEDS = (11, 23, 47, 61)
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def rows_digest(results) -> str:
+    """Full-precision digest of the experiment rows (order-sensitive).
+
+    ``repr`` of a float is exact (round-trips the bit pattern), so two
+    digests match iff every cell of every row is byte-identical.
+    """
+    h = hashlib.sha256()
+    for result in results:
+        h.update(result.experiment_id.encode())
+        for row in result.rows:
+            h.update(repr(row).encode())
+    return h.hexdigest()
+
+
+def _e2_kwargs(horizon_us: float, seed: int, jobs) -> dict:
+    kwargs = {"horizon_us": horizon_us, "seed": seed}
+    # The ``jobs`` parameter only exists once the parallel harness is in;
+    # tolerate its absence so the same script records the pre-PR baseline.
+    if jobs is not None and "jobs" in inspect.signature(
+        run_e2_throughput_penalty
+    ).parameters:
+        kwargs["jobs"] = jobs
+    return kwargs
+
+
+def run_e2_sweep(horizon_us: float, jobs=None):
+    """Run the E2 runner over all benchmark seeds; return (results, wall_s)."""
+    t0 = time.perf_counter()
+    results = [
+        run_e2_throughput_penalty(**_e2_kwargs(horizon_us, seed, jobs))
+        for seed in SEEDS
+    ]
+    return results, time.perf_counter() - t0
+
+
+def events_per_second(horizon_us: float) -> dict:
+    """Kernel throughput of one default E2-style power-aware run."""
+    config = replace(DEFAULT_CONFIG, horizon_us=horizon_us, seed=SEEDS[0])
+    t0 = time.perf_counter()
+    result = run_system(config)
+    wall = time.perf_counter() - t0
+    return {
+        "events_fired": result.events_fired,
+        "wall_s": wall,
+        "events_per_s": result.events_fired / wall if wall > 0 else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current timings/digest as the comparison baseline",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail unless wall-clock speedup vs. the baseline is >= 3x",
+    )
+    parser.add_argument(
+        "--horizon-us",
+        type=float,
+        default=60_000.0,
+        help="simulation horizon (default: the full 60 ms scale)",
+    )
+    parser.add_argument("--jobs", type=int, default=4, help="parallel jobs to cross-check")
+    args = parser.parse_args(argv)
+
+    print(f"E2 sweep: 8x8 mesh, {args.horizon_us / 1000:g} ms, seeds {SEEDS}")
+    results, wall = run_e2_sweep(args.horizon_us)
+    digest = rows_digest(results)
+    kernel = events_per_second(args.horizon_us)
+    print(f"serial wall: {wall:.2f} s   digest: {digest[:16]}...")
+    print(
+        f"kernel: {kernel['events_fired']} events in {kernel['wall_s']:.2f} s "
+        f"-> {kernel['events_per_s']:.0f} events/s"
+    )
+
+    if args.write_baseline:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "workload": "E2 throughput penalty, 8x8 @ 16nm",
+                    "horizon_us": args.horizon_us,
+                    "seeds": list(SEEDS),
+                    "wall_s": wall,
+                    "rows_digest": digest,
+                    "kernel": kernel,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    failures = []
+
+    # Serial vs. parallel identity (post-fast-path only).
+    if "jobs" in inspect.signature(run_e2_throughput_penalty).parameters:
+        par_results, par_wall = run_e2_sweep(args.horizon_us, jobs=args.jobs)
+        par_digest = rows_digest(par_results)
+        print(f"--jobs {args.jobs} wall: {par_wall:.2f} s   digest: {par_digest[:16]}...")
+        if par_digest != digest:
+            failures.append("serial and parallel E2 rows differ")
+        else:
+            print("serial == parallel rows: OK")
+    else:
+        print("parallel harness not present; skipping jobs cross-check")
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --write-baseline first")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    if baseline["horizon_us"] == args.horizon_us and baseline["seeds"] == list(SEEDS):
+        if baseline["rows_digest"] != digest:
+            failures.append("E2 rows differ from the pre-optimisation baseline")
+        else:
+            print("rows byte-identical to the recorded baseline: OK")
+        speedup = baseline["wall_s"] / wall if wall > 0 else float("inf")
+        kernel_x = (
+            kernel["events_per_s"] / baseline["kernel"]["events_per_s"]
+            if baseline["kernel"]["events_per_s"] > 0
+            else float("inf")
+        )
+        print(
+            f"speedup vs baseline: {speedup:.2f}x wall "
+            f"({baseline['wall_s']:.2f} s -> {wall:.2f} s), "
+            f"{kernel_x:.2f}x events/s"
+        )
+        if args.strict and speedup < 3.0:
+            failures.append(f"speedup {speedup:.2f}x below the 3x floor")
+    else:
+        print("baseline recorded at a different scale; skipping the comparison")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

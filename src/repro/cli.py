@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import inspect
 import sys
 from typing import List, Optional, Sequence
 
 from repro.core.config_io import load_config, save_config
 from repro.core.system import SystemConfig, run_system
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.parallel import run_many
 from repro.metrics.export import trace_to_csv, write_text
 from repro.metrics.report import format_table
 from repro.platform.technology import node_names
@@ -63,12 +65,22 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="run experiments by id")
     exp_p.add_argument("ids", nargs="+", help="experiment ids, e.g. E2 E9 A4")
     exp_p.add_argument("--horizon-us", type=float, help="override the horizon")
+    exp_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the experiment's independent runs "
+             "(results are identical to a serial run)",
+    )
 
     sweep_p = sub.add_parser("sweep", help="sweep one config field")
     sweep_p.add_argument("field", help="SystemConfig field, e.g. tdp_w")
     sweep_p.add_argument("values", help="comma-separated values, e.g. 40,60,80")
     sweep_p.add_argument("--horizon-ms", type=float, default=30.0)
     sweep_p.add_argument("--seed", type=int, default=1)
+    sweep_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweep points "
+             "(results are identical to a serial run)",
+    )
 
     sub.add_parser("list", help="show experiments, scenarios, nodes, policies")
     return parser
@@ -144,6 +156,12 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         kwargs = {}
         if args.horizon_us is not None:
             kwargs["horizon_us"] = args.horizon_us
+        if args.jobs is not None:
+            # Ablation runners predate the parallel harness; only pass
+            # --jobs to runners that accept it.
+            runner = EXPERIMENTS[experiment_id]
+            if "jobs" in inspect.signature(runner).parameters:
+                kwargs["jobs"] = args.jobs
         result = run_experiment(experiment_id, **kwargs)
         print(result.render())
         print()
@@ -173,11 +191,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     base = SystemConfig(
         horizon_us=args.horizon_ms * 1000.0, seed=args.seed
     )
+    values = [coerce(raw) for raw in raw_values]
+    configs = [
+        dataclasses.replace(base, **{args.field: value}) for value in values
+    ]
+    results = run_many(configs, args.jobs)
     rows = []
-    for raw in raw_values:
-        value = coerce(raw)
-        config = dataclasses.replace(base, **{args.field: value})
-        result = run_system(config)
+    for value, result in zip(values, results):
         summary = result.summary()
         rows.append(
             [

@@ -35,7 +35,7 @@ from repro.workload.application import ApplicationInstance
 from repro.workload.task import Edge, Task
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskExecution:
     """Bookkeeping of one in-flight task."""
 
@@ -129,7 +129,7 @@ class ExecutionEngine:
     # Task lifecycle
     # ------------------------------------------------------------------
     def _start_task(self, app: ApplicationInstance, task_id: int) -> None:
-        core = self.chip.core(app.placement[task_id])
+        core = self.chip.cores[app.placement[task_id]]
         if not core.is_idle():
             raise RuntimeError(
                 f"core {core.core_id} expected idle for task start, "
@@ -217,8 +217,8 @@ class ExecutionEngine:
     # Transfers
     # ------------------------------------------------------------------
     def _start_transfer(self, app: ApplicationInstance, edge: Edge) -> None:
-        src_core = self.chip.core(app.placement[edge.src])
-        dst_core = self.chip.core(app.placement[edge.dst])
+        src_core = self.chip.cores[app.placement[edge.src]]
+        dst_core = self.chip.cores[app.placement[edge.dst]]
         estimate = self.noc.begin_transfer(
             src_core.position, dst_core.position, edge.volume_flits,
             now=self.sim.now,
@@ -245,7 +245,7 @@ class ExecutionEngine:
         self, app: ApplicationInstance, edge: Edge, latency_us: float
     ) -> None:
         app.transferred_edges.add((edge.src, edge.dst))
-        src_core = self.chip.core(app.placement[edge.src])
+        src_core = self.chip.cores[app.placement[edge.src]]
         pending = self._pending_out.get(src_core.core_id, 0) - 1
         if pending <= 0:
             self._pending_out.pop(src_core.core_id, None)
@@ -273,11 +273,12 @@ class ExecutionEngine:
             hook(now)
 
     def _check_app_done(self, app: ApplicationInstance) -> None:
+        graph = app.graph
+        if len(app.completed_tasks) != graph.n_tasks:
+            return
+        if len(app.transferred_edges) < graph.n_edges:
+            return
         if app.app_id not in self._apps:
-            return
-        if not app.is_finished():
-            return
-        if len(app.transferred_edges) < len(app.graph.edges):
             return
         del self._apps[app.app_id]
         app.finish_time = self.sim.now

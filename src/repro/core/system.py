@@ -39,6 +39,7 @@ from repro.noc.model import NocModel, NocParameters
 from repro.noc.queued import QueuedNocModel
 from repro.noc.topology import Mesh
 from repro.platform.chip import Chip
+from repro.platform.core import CoreState
 from repro.platform.thermal import ThermalModel, ThermalParameters
 from repro.platform.variation import VariationModel, VariationParameters
 from repro.power.budget import PowerBudget
@@ -197,6 +198,13 @@ class SimulationResult:
         }
 
 
+#: Memoized arrival traces keyed by the workload-defining config fields
+#: (see :meth:`ManycoreSystem.generate_arrivals`).  Bounded FIFO so long
+#: sweeps over workload knobs cannot grow it without limit.
+_ARRIVAL_TRACES: Dict[tuple, List[Arrival]] = {}
+_ARRIVAL_TRACES_MAX = 64
+
+
 class ManycoreSystem:
     """One fully-wired simulation instance."""
 
@@ -261,6 +269,14 @@ class ManycoreSystem:
         self.test_scheduler = self._build_test_scheduler()
         self.queue: Deque[ApplicationInstance] = deque()
         self._app_counter = 0
+        # Both inputs (config knob and scheduler class) are fixed for the
+        # system's lifetime; _available_cores runs on every core release.
+        self._preemption_resolved = self.preemption_policy()
+        # Last failed mapping attempt, as (head app, chip.mutations at the
+        # time).  Every mapper here fails purely as a function of the
+        # availability set, so retrying the same head on an unchanged chip
+        # is guaranteed to fail again and is skipped (see _try_map).
+        self._map_blocked: Optional[tuple] = None
         self._wire()
 
     # ------------------------------------------------------------------
@@ -344,6 +360,27 @@ class ManycoreSystem:
     # Workload
     # ------------------------------------------------------------------
     def generate_arrivals(self) -> List[Arrival]:
+        """Arrival trace for this configuration (memoized across systems).
+
+        The trace is a pure function of the workload knobs and the seed:
+        the ``"workload"`` RNG stream is derived only from ``config.seed``
+        and consumed nowhere else, and :class:`Arrival` objects (and the
+        :class:`~repro.workload.application.ApplicationGraph` templates they
+        carry) are immutable, so experiment sweeps that replay the same
+        seed under different policies can share one trace.  Callers must
+        treat the returned list as read-only.
+        """
+        key = (
+            self.config.bursty,
+            self.config.arrival_rate_per_ms,
+            self.config.profile_names,
+            self.config.profile_weights,
+            self.config.seed,
+            self.config.horizon_us,
+        )
+        cached = _ARRIVAL_TRACES.get(key)
+        if cached is not None:
+            return cached
         cls = BurstyArrivalProcess if self.config.bursty else PoissonArrivalProcess
         process = cls(
             self.config.arrival_rate_per_ms,
@@ -351,7 +388,11 @@ class ManycoreSystem:
             list(self.config.profile_weights),
             rng=self.streams.stream("workload"),
         )
-        return process.generate(self.config.horizon_us)
+        trace = process.generate(self.config.horizon_us)
+        if len(_ARRIVAL_TRACES) >= _ARRIVAL_TRACES_MAX:
+            _ARRIVAL_TRACES.pop(next(iter(_ARRIVAL_TRACES)))
+        _ARRIVAL_TRACES[key] = trace
+        return trace
 
     def _on_arrival(self, arrival: Arrival) -> None:
         self._app_counter += 1
@@ -376,7 +417,7 @@ class ManycoreSystem:
 
     def _available_cores(self):
         available = self.chip.free_cores()
-        if self.preemption_policy() == "abort":
+        if self._preemption_resolved == "abort":
             available = available + [
                 c for c in self.chip.testing_cores() if c.owner_app is None
             ]
@@ -412,11 +453,38 @@ class ManycoreSystem:
     def _try_map(self) -> None:
         while self.queue:
             app = self._next_in_queue()
+            mutations = self.chip.mutations
+            blocked = self._map_blocked
+            if (
+                blocked is not None
+                and blocked[0] is app
+                and blocked[1] == mutations
+            ):
+                # Nothing on the chip changed since this app last failed to
+                # map; the attempt would fail identically (mapping failure
+                # depends only on core availability, and the failure paths
+                # consume no RNG), so skip the rebuild.
+                return
+            # Every mapper needs one distinct core per task and rejects
+            # otherwise, so an exact availability count decides the common
+            # saturated case without building the list or the context.
+            n_avail = self.chip.n_free_cores()
+            if self._preemption_resolved == "abort":
+                # Cores under test are never app-owned (the runner refuses
+                # to test an owned core), so the whole testing set counts.
+                n_avail += len(self.chip.state_ids(CoreState.TESTING))
+            slots = self.power_manager.spare_core_slots()
+            if slots is not None and n_avail > slots:
+                n_avail = slots
+            if app.graph.n_tasks > n_avail:
+                self._map_blocked = (app, mutations)
+                return
             ctx = MappingContext(
                 self.chip, self.mesh, self.sim.now, self._available_cores()
             )
             placement = self.mapper.map_application(app, ctx)
             if placement is None:
+                self._map_blocked = (app, mutations)
                 return
             for core_id in placement.values():
                 core = self.chip.core(core_id)
@@ -453,9 +521,9 @@ class ManycoreSystem:
         self.metrics.sample_power(now, self.meter.breakdown())
         self.metrics.sample_counts(
             now,
-            busy=len(self.chip.busy_cores()),
-            testing=len(self.chip.testing_cores()),
-            idle=len(self.chip.idle_cores()),
+            busy=len(self.chip.state_ids(CoreState.BUSY)),
+            testing=len(self.chip.state_ids(CoreState.TESTING)),
+            idle=len(self.chip.state_ids(CoreState.IDLE)),
             queued=len(self.queue),
         )
 

@@ -13,6 +13,7 @@ from repro.experiments.ablations import (
     run_a8_noc_fidelity,
     run_e10_lifetime,
 )
+from repro.experiments.parallel import run_many
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runners import (
     DEFAULT_CONFIG,
@@ -55,4 +56,5 @@ __all__ = [
     "run_e8_detection_latency",
     "run_e9_pid_ablation",
     "run_experiment",
+    "run_many",
 ]

@@ -7,7 +7,10 @@ the figure/table the paper reported.  See DESIGN.md for the experiment
 index and EXPERIMENTS.md for paper-claim vs. measured numbers.
 
 All runners accept ``horizon_us``/``seeds`` so the benchmark harness can
-run them at full scale while unit tests use small horizons.
+run them at full scale while unit tests use small horizons, plus ``jobs``
+to spread their independent simulation runs over worker processes via
+:func:`repro.experiments.parallel.run_many` (serial and parallel runs
+produce identical results; see that module's docstring).
 """
 
 from __future__ import annotations
@@ -16,7 +19,8 @@ import statistics
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.system import SimulationResult, SystemConfig, run_system
+from repro.core.system import SimulationResult, SystemConfig
+from repro.experiments.parallel import run_many
 from repro.experiments.result import ExperimentResult
 from repro.platform.technology import get_node, node_names
 
@@ -46,15 +50,18 @@ def _grid(horizon_us: float, step_us: float) -> List[float]:
 # E1 — power trace under the budget
 # ----------------------------------------------------------------------
 def run_e1_power_trace(
-    horizon_us: float = 60_000.0, seed: int = 11
+    horizon_us: float = 60_000.0, seed: int = 11, jobs: Optional[int] = None
 ) -> ExperimentResult:
     """Chip power vs. time against the TDP for proposed vs. power-unaware."""
     base = replace(DEFAULT_CONFIG, horizon_us=horizon_us, seed=seed)
     rows = []
     series: Dict[str, List[float]] = {}
     grid = _grid(horizon_us, base.epoch_us * 5)
-    for policy in ("power-aware", "unaware"):
-        result = run_system(replace(base, test_policy=policy))
+    policies = ("power-aware", "unaware")
+    runs = run_many(
+        [replace(base, test_policy=policy) for policy in policies], jobs
+    )
+    for policy, result in zip(policies, runs):
         trace = result.metrics.trace
         series[f"power.total[{policy}]"] = trace.resample("power.total", grid)
         series[f"power.test[{policy}]"] = trace.resample("power.test", grid)
@@ -93,13 +100,15 @@ def run_e1_power_trace(
 # E2 — throughput penalty of online testing
 # ----------------------------------------------------------------------
 def run_e2_throughput_penalty(
-    horizon_us: float = 60_000.0, seed: int = 11
+    horizon_us: float = 60_000.0, seed: int = 11, jobs: Optional[int] = None
 ) -> ExperimentResult:
     """Throughput penalty per test scheduler at 16 nm (headline claim)."""
     base = replace(DEFAULT_CONFIG, horizon_us=horizon_us, seed=seed)
-    results: Dict[str, SimulationResult] = {}
-    for policy in ("none", "power-aware", "unaware", "round-robin"):
-        results[policy] = run_system(replace(base, test_policy=policy))
+    policies = ("none", "power-aware", "unaware", "round-robin")
+    runs = run_many(
+        [replace(base, test_policy=policy) for policy in policies], jobs
+    )
+    results: Dict[str, SimulationResult] = dict(zip(policies, runs))
     baseline = results["none"].throughput_ops_per_us
     rows = []
     for policy, result in results.items():
@@ -137,16 +146,23 @@ def run_e3_tech_nodes(
     horizon_us: float = 60_000.0,
     seed: int = 11,
     nodes: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Penalty and dark-silicon squeeze across 45/32/22/16 nm."""
     base = replace(DEFAULT_CONFIG, horizon_us=horizon_us, seed=seed)
     rows = []
     worst_penalty = 0.0
-    for name in (nodes or node_names()):
+    names = list(nodes or node_names())
+    configs = []
+    for name in names:
+        configs.append(replace(base, node_name=name, test_policy="none"))
+        configs.append(replace(base, node_name=name, test_policy="power-aware"))
+    runs = run_many(configs, jobs)
+    for i, name in enumerate(names):
         node = get_node(name)
         lit = node.lit_fraction(base.width * base.height, base.tdp_w)
-        off = run_system(replace(base, node_name=name, test_policy="none"))
-        on = run_system(replace(base, node_name=name, test_policy="power-aware"))
+        off = runs[2 * i]
+        on = runs[2 * i + 1]
         penalty = _penalty_pct(
             off.throughput_ops_per_us, on.throughput_ops_per_us
         )
@@ -184,7 +200,9 @@ def run_e3_tech_nodes(
 # E4 — test-frequency adaptivity to core stress
 # ----------------------------------------------------------------------
 def run_e4_adaptivity(
-    horizon_us: float = 60_000.0, seeds: Sequence[int] = (5, 11, 23)
+    horizon_us: float = 60_000.0,
+    seeds: Sequence[int] = (5, 11, 23),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Tests per core vs. core busy time (criticality adaptivity).
 
@@ -209,8 +227,8 @@ def run_e4_adaptivity(
     quartile_busy = [[] for _ in range(4)]
     quartile_tests = [[] for _ in range(4)]
     last_series: List[float] = []
-    for seed in seeds:
-        result = run_system(replace(base, seed=seed))
+    runs = run_many([replace(base, seed=seed) for seed in seeds], jobs)
+    for result in runs:
         busy = result.per_core_busy_us
         tests = result.per_core_tests
         core_ids = sorted(busy)
@@ -258,13 +276,16 @@ def run_e5_test_power_share(
     horizon_us: float = 60_000.0,
     seed: int = 11,
     rates: Sequence[float] = (2.0, 4.0, 6.0, 8.0, 10.0),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Energy share dedicated to testing across offered loads."""
     base = replace(DEFAULT_CONFIG, horizon_us=horizon_us, seed=seed)
     rows = []
     shares = []
-    for rate in rates:
-        result = run_system(replace(base, arrival_rate_per_ms=rate))
+    runs = run_many(
+        [replace(base, arrival_rate_per_ms=rate) for rate in rates], jobs
+    )
+    for rate, result in zip(rates, runs):
         share = result.test_power_share
         shares.append(share)
         rows.append(
@@ -294,14 +315,17 @@ def run_e5_test_power_share(
 # E6 — V/F-level coverage of the test campaign
 # ----------------------------------------------------------------------
 def run_e6_vf_coverage(
-    horizon_us: float = 60_000.0, seed: int = 11
+    horizon_us: float = 60_000.0, seed: int = 11, jobs: Optional[int] = None
 ) -> ExperimentResult:
     """Distribution of completed tests across DVFS levels."""
     base = replace(DEFAULT_CONFIG, horizon_us=horizon_us, seed=seed)
     rows = []
     covered = {}
-    for level_policy in ("rotate", "nominal"):
-        result = run_system(replace(base, test_level_policy=level_policy))
+    level_policies = ("rotate", "nominal")
+    runs = run_many(
+        [replace(base, test_level_policy=p) for p in level_policies], jobs
+    )
+    for level_policy, result in zip(level_policies, runs):
         per_level = result.per_level_tests
         n_levels = base.n_vf_levels
         covered[level_policy] = sum(
@@ -329,6 +353,7 @@ def run_e7_mapping(
     horizon_us: float = 60_000.0,
     seeds: Sequence[int] = (11, 23, 47),
     arrival_rate_per_ms: float = 3.0,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Test-aware utilization-oriented mapping vs. baselines.
 
@@ -343,10 +368,18 @@ def run_e7_mapping(
     )
     rows = []
     per_mapper: Dict[str, Dict[str, float]] = {}
-    for mapper in ("contiguous", "scatter", "random", "mappro", "test-aware"):
+    mappers = ("contiguous", "scatter", "random", "mappro", "test-aware")
+    runs = run_many(
+        [
+            replace(base, mapper=mapper, seed=seed)
+            for mapper in mappers
+            for seed in seeds
+        ],
+        jobs,
+    )
+    for m, mapper in enumerate(mappers):
         aborts, max_gaps, mean_gaps, hops, thrs = [], [], [], [], []
-        for seed in seeds:
-            result = run_system(replace(base, mapper=mapper, seed=seed))
+        for result in runs[m * len(seeds):(m + 1) * len(seeds)]:
             aborts.append(result.test_stats.aborted)
             max_gaps.append(result.test_stats.max_gap_us())
             mean_gaps.append(result.test_stats.mean_gap_us())
@@ -399,6 +432,7 @@ def run_e8_detection_latency(
     seeds: Sequence[int] = (3, 7, 13, 29),
     hazard_per_us: float = 1e-6,
     stress_scale: float = 10.0,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Detection latency of injected permanent faults per scheduler.
 
@@ -415,11 +449,19 @@ def run_e8_detection_latency(
     base = replace(base, horizon_us=horizon_us)
     rows = []
     mean_latency: Dict[str, float] = {}
-    for policy in ("power-aware", "round-robin", "unaware", "none"):
+    policies = ("power-aware", "round-robin", "unaware", "none")
+    runs = run_many(
+        [
+            replace(base, test_policy=policy, seed=seed)
+            for policy in policies
+            for seed in seeds
+        ],
+        jobs,
+    )
+    for p, policy in enumerate(policies):
         injected = detected = 0
         latencies: List[float] = []
-        for seed in seeds:
-            result = run_system(replace(base, test_policy=policy, seed=seed))
+        for result in runs[p * len(seeds):(p + 1) * len(seeds)]:
             injected += len(result.fault_records)
             for record in result.fault_records:
                 if record.detected:
@@ -456,7 +498,10 @@ def run_e8_detection_latency(
 # E9 — PID power budgeting ablation (ICCD'14 substrate)
 # ----------------------------------------------------------------------
 def run_e9_pid_ablation(
-    horizon_us: float = 60_000.0, seed: int = 11, tdp_w: float = 50.0
+    horizon_us: float = 60_000.0,
+    seed: int = 11,
+    tdp_w: float = 50.0,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """PID budgeting vs. naive TDP policies under a bursty workload."""
     base = replace(
@@ -469,9 +514,11 @@ def run_e9_pid_ablation(
         profile_names=("small", "medium"),
         profile_weights=(0.5, 0.5),
     )
-    results = {}
-    for policy in ("worst-case", "naive", "pid"):
-        results[policy] = run_system(replace(base, power_policy=policy))
+    policies = ("worst-case", "naive", "pid")
+    runs = run_many(
+        [replace(base, power_policy=policy) for policy in policies], jobs
+    )
+    results = dict(zip(policies, runs))
     rows = []
     for policy, result in results.items():
         rows.append(

@@ -44,7 +44,14 @@ class MappingContext:
         self.mesh = mesh
         self.now = now
         self.available = available
-        self.available_ids = {core.core_id for core in available}
+        self._available_ids: Optional[set] = None
+
+    @property
+    def available_ids(self) -> set:
+        """Ids of the available cores (built lazily; most mappers never ask)."""
+        if self._available_ids is None:
+            self._available_ids = {core.core_id for core in self.available}
+        return self._available_ids
 
 
 class RuntimeMapper:
@@ -82,10 +89,32 @@ def pick_first_node(
     radius = 1
     while (2 * radius + 1) ** 2 < n_tasks:
         radius += 1
+    # The region score is an integer occupancy count, so it can be read
+    # off a 2-D prefix-sum grid in O(1) per candidate instead of scanning
+    # every available core per candidate — same counts, same winner.
+    width = ctx.mesh.width
+    height = ctx.mesh.height
+    pref = [[0] * (width + 1) for _ in range(height + 1)]
+    for other in ctx.available:
+        pref[other.y + 1][other.x + 1] += 1
+    for y in range(1, height + 1):
+        row = pref[y]
+        prev = pref[y - 1]
+        run = 0
+        for x in range(1, width + 1):
+            run += row[x]
+            row[x] = run + prev[x]
     best: Optional[Core] = None
     best_key = None
     for core in ctx.available:
-        score = float(square_region_score(ctx, core, radius))
+        x0 = max(0, core.x - radius)
+        y0 = max(0, core.y - radius)
+        x1 = min(width - 1, core.x + radius)
+        y1 = min(height - 1, core.y + radius)
+        score = float(
+            pref[y1 + 1][x1 + 1] - pref[y0][x1 + 1]
+            - pref[y1 + 1][x0] + pref[y0][x0]
+        )
         if extra_cost is not None:
             score -= extra_cost(ctx.now, core)
         key = (-score, core.core_id)
@@ -110,26 +139,52 @@ def assign_tasks_near(
     Returns ``None`` when the region runs out of cores.
     """
     graph = app.graph
-    if len(graph) > len(ctx.available):
+    if graph.n_tasks > len(ctx.available):
         return None
-    free: Dict[int, Core] = {c.core_id: c for c in ctx.available}
+    # Every cost term is integer-valued except the exact half-integer
+    # first-node bias, so float addition is exact here and the sums may be
+    # regrouped freely: the per-core cost splits into a per-core constant
+    # (distance to the first node, hoisted below) plus separable per-axis
+    # predecessor distances read from small tables — O(width + height)
+    # absolute differences per task instead of O(|free| * preds).  Same
+    # values, same (cost, core_id) winner as the naive double loop.
+    first_x, first_y = first.position
+    free: Dict[int, tuple] = {
+        c.core_id: (c, 0.5 * (abs(c.x - first_x) + abs(c.y - first_y)), c.x, c.y)
+        for c in ctx.available
+    }
     placement: Dict[int, int] = {}
     positions: Dict[int, tuple] = {}
 
-    order = graph.topo_order
-    for task_id in order:
+    width = ctx.mesh.width
+    height = ctx.mesh.height
+    now = ctx.now
+    predecessors = graph.predecessors
+    for task_id in graph.topo_order:
+        pred_positions = [
+            positions[edge.src]
+            for edge in predecessors[task_id]
+            if edge.src in positions
+        ]
+        col = [0] * width
+        row = [0] * height
+        for px, py in pred_positions:
+            for x in range(width):
+                col[x] += abs(x - px)
+            for y in range(height):
+                row[y] += abs(y - py)
         best_core = None
-        best_key = None
-        for core in free.values():
-            cost = 0.5 * Mesh.manhattan(core.position, first.position)
-            for edge in graph.predecessors[task_id]:
-                if edge.src in positions:
-                    cost += Mesh.manhattan(core.position, positions[edge.src])
+        best_cost = 0.0
+        for core, base, cx, cy in free.values():
+            cost = base + col[cx] + row[cy]
             if extra_cost is not None:
-                cost += extra_cost(ctx.now, core)
-            key = (cost, core.core_id)
-            if best_key is None or key < best_key:
-                best_key = key
+                cost += extra_cost(now, core)
+            if (
+                best_core is None
+                or cost < best_cost
+                or (cost == best_cost and core.core_id < best_core.core_id)
+            ):
+                best_cost = cost
                 best_core = core
         if best_core is None:
             return None

@@ -31,9 +31,9 @@ class ContiguousMapper(RuntimeMapper):
     def map_application(
         self, app: ApplicationInstance, ctx: MappingContext
     ) -> Optional[Dict[int, int]]:
-        if len(app.graph) > len(ctx.available):
+        if app.graph.n_tasks > len(ctx.available):
             return None
-        first = pick_first_node(ctx, len(app.graph))
+        first = pick_first_node(ctx, app.graph.n_tasks)
         if first is None:
             return None
         return assign_tasks_near(app, ctx, first)

@@ -83,9 +83,9 @@ class MapProMapper(RuntimeMapper):
     def map_application(
         self, app: ApplicationInstance, ctx: MappingContext
     ) -> Optional[Dict[int, int]]:
-        if len(app.graph) > len(ctx.available):
+        if app.graph.n_tasks > len(ctx.available):
             return None
-        field = self.potential_field(ctx, len(app.graph))
+        field = self.potential_field(ctx, app.graph.n_tasks)
         if not field:
             return None
         by_core: Dict[int, Core] = {c.core_id: c for c in ctx.available}

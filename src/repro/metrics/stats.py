@@ -11,9 +11,10 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.system import SimulationResult, SystemConfig, run_system
+from repro.core.system import SimulationResult, SystemConfig
+from repro.experiments.parallel import run_many
 
 #: Two-sided 95% Student-t critical values for small sample sizes
 #: (df = n - 1); beyond the table we fall back to the normal 1.96.
@@ -61,12 +62,16 @@ def estimate(samples: Sequence[float]) -> Estimate:
 
 
 def replicate(
-    config: SystemConfig, seeds: Sequence[int]
+    config: SystemConfig, seeds: Sequence[int], jobs: Optional[int] = None
 ) -> List[SimulationResult]:
-    """Run the same configuration under each seed."""
+    """Run the same configuration under each seed.
+
+    ``jobs`` spreads the replicas over worker processes; results are
+    identical to the serial run and ordered by ``seeds``.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    return [run_system(replace(config, seed=seed)) for seed in seeds]
+    return run_many([replace(config, seed=seed) for seed in seeds], jobs)
 
 
 def summarize_replicas(
@@ -91,6 +96,7 @@ def compare_policies(
     metric: Callable[[SimulationResult], float] = (
         lambda r: r.throughput_ops_per_us
     ),
+    jobs: Optional[int] = None,
 ) -> Dict[object, Estimate]:
     """Estimate ``metric`` for each policy value, paired across seeds."""
     if not values:
@@ -98,6 +104,6 @@ def compare_policies(
     out: Dict[object, Estimate] = {}
     for value in values:
         config = replace(base, **{field: value})
-        results = replicate(config, seeds)
+        results = replicate(config, seeds, jobs)
         out[value] = estimate([metric(result) for result in results])
     return out

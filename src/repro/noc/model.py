@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.noc.routing import Link, xy_links
+from repro.noc.routing import Link, link_id, xy_link_ids
 from repro.noc.topology import Mesh, Position
 
 
@@ -42,9 +42,14 @@ class NocParameters:
             raise ValueError("delays and penalties must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TransferEstimate:
-    """Result of admitting one transfer into the NoC model."""
+    """Result of admitting one transfer into the NoC model.
+
+    Treat as immutable; a plain slots dataclass because one is built per
+    transfer and the frozen-dataclass ``__setattr__`` guard makes
+    construction measurably slower on that path.
+    """
 
     latency_us: float
     energy_uj: float
@@ -58,7 +63,10 @@ class NocModel:
     def __init__(self, mesh: Mesh, params: NocParameters = NocParameters()) -> None:
         self.mesh = mesh
         self.params = params
-        self._link_load: Dict[Link, float] = {}
+        # Keyed by the links' small-int identities (see routing.link_id):
+        # int keys hash substantially faster than nested position tuples,
+        # and this table is touched several times per transfer.
+        self._link_load: Dict[int, float] = {}
         self.total_flits: float = 0.0
         self.total_energy_uj: float = 0.0
         self.total_flit_hops: float = 0.0
@@ -67,26 +75,31 @@ class NocModel:
     # Load accounting
     # ------------------------------------------------------------------
     def link_load(self, link: Link) -> float:
-        return self._link_load.get(link, 0.0)
+        return self._link_load.get(link_id(self.mesh, link), 0.0)
 
-    def occupy(self, links: List[Link], flits: float) -> None:
-        for link in links:
-            self._link_load[link] = self._link_load.get(link, 0.0) + flits
+    def occupy(self, link_ids: List[int], flits: float) -> None:
+        loads = self._link_load
+        get = loads.get
+        for lid in link_ids:
+            loads[lid] = get(lid, 0.0) + flits
 
-    def release(self, links: List[Link], flits: float) -> None:
-        for link in links:
-            remaining = self._link_load.get(link, 0.0) - flits
+    def release(self, link_ids: List[int], flits: float) -> None:
+        loads = self._link_load
+        get = loads.get
+        for lid in link_ids:
+            remaining = get(lid, 0.0) - flits
             if remaining < -1e-9:
-                raise ValueError(f"link {link} released below zero")
+                raise ValueError(f"link {lid} released below zero")
             if remaining <= 1e-9:
-                self._link_load.pop(link, None)
+                loads.pop(lid, None)
             else:
-                self._link_load[link] = remaining
+                loads[lid] = remaining
 
-    def busiest_load(self, links: List[Link]) -> float:
-        if not links:
+    def busiest_load(self, link_ids: List[int]) -> float:
+        if not link_ids:
             return 0.0
-        return max(self.link_load(link) for link in links)
+        get = self._link_load.get
+        return max([get(lid, 0.0) for lid in link_ids])
 
     # ------------------------------------------------------------------
     # Transfers
@@ -103,19 +116,23 @@ class NocModel:
         """
         if flits < 0:
             raise ValueError("flit volume must be non-negative")
-        links = xy_links(self.mesh, src, dst)
-        hops = len(links)
+        return self._estimate_ids(xy_link_ids(self.mesh, src, dst), flits)
+
+    def _estimate_ids(self, link_ids, flits: float) -> TransferEstimate:
+        """:meth:`estimate` with the route already resolved to link ids."""
+        hops = len(link_ids)
         if flits == 0 or hops == 0:
             return TransferEstimate(0.0, 0.0, hops, 0.0)
-        load = self.busiest_load(links)
-        normalized = load / self.params.bandwidth_flits_per_us
-        serial = flits / self.params.bandwidth_flits_per_us
+        params = self.params
+        load = self.busiest_load(link_ids)
+        normalized = load / params.bandwidth_flits_per_us
+        serial = flits / params.bandwidth_flits_per_us
         latency = (
-            hops * self.params.router_delay_us
-            + serial * (1.0 + self.params.congestion_alpha * normalized)
+            hops * params.router_delay_us
+            + serial * (1.0 + params.congestion_alpha * normalized)
         )
         energy_pj = flits * (
-            hops * self.params.e_link_pj + (hops + 1) * self.params.e_router_pj
+            hops * params.e_link_pj + (hops + 1) * params.e_router_pj
         )
         return TransferEstimate(latency, energy_pj * 1e-6, hops, load)
 
@@ -123,9 +140,38 @@ class NocModel:
         self, src: Position, dst: Position, flits: float, now: float = 0.0
     ) -> TransferEstimate:
         """Admit a transfer: account its load and return its estimate."""
-        estimate = self.estimate(src, dst, flits)
-        links = xy_links(self.mesh, src, dst)
-        self.occupy(links, flits)
+        if flits < 0:
+            raise ValueError("flit volume must be non-negative")
+        link_ids = xy_link_ids(self.mesh, src, dst)
+        hops = len(link_ids)
+        loads = self._link_load
+        get = loads.get
+        if flits == 0 or hops == 0:
+            estimate = TransferEstimate(0.0, 0.0, hops, 0.0)
+        else:
+            # Fused busiest-load scan + occupancy: one table read per link
+            # instead of two.  Floats are untouched: ``max`` of the same
+            # loads, additions in the same link order.
+            params = self.params
+            current = [get(lid, 0.0) for lid in link_ids]
+            load = max(current)
+            normalized = load / params.bandwidth_flits_per_us
+            serial = flits / params.bandwidth_flits_per_us
+            latency = (
+                hops * params.router_delay_us
+                + serial * (1.0 + params.congestion_alpha * normalized)
+            )
+            energy_pj = flits * (
+                hops * params.e_link_pj + (hops + 1) * params.e_router_pj
+            )
+            estimate = TransferEstimate(latency, energy_pj * 1e-6, hops, load)
+            for lid, seen in zip(link_ids, current):
+                loads[lid] = seen + flits
+            self.total_flits += flits
+            self.total_flit_hops += flits * hops
+            self.total_energy_uj += estimate.energy_uj
+            return estimate
+        self.occupy(link_ids, flits)
         self.total_flits += flits
         self.total_flit_hops += flits * estimate.hops
         self.total_energy_uj += estimate.energy_uj
@@ -133,7 +179,7 @@ class NocModel:
 
     def end_transfer(self, src: Position, dst: Position, flits: float) -> None:
         """Retire a transfer admitted with :meth:`begin_transfer`."""
-        self.release(xy_links(self.mesh, src, dst), flits)
+        self.release(xy_link_ids(self.mesh, src, dst), flits)
 
     def average_hops(self) -> float:
         """Mean hop count per flit transferred so far."""

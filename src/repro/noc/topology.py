@@ -7,9 +7,37 @@ node ids are row-major (``id = y * width + x``) and consistent with
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 Position = Tuple[int, int]
+
+
+class RouteCache:
+    """Per-mesh memo of XY routes, filled lazily by :mod:`repro.noc.routing`.
+
+    Routes on a mesh are static (deterministic XY), so once a
+    (source, destination) pair has been walked its node path and link
+    sequence never change.  Both the analytic and the queued NoC models
+    route through the same :class:`Mesh` instance and therefore share
+    this table.  Entries are stored as tuples: callers may hold on to
+    them without defensive copies.
+    """
+
+    __slots__ = ("paths", "links", "link_ids")
+
+    def __init__(self) -> None:
+        self.paths: Dict[Tuple[Position, Position], Tuple[Position, ...]] = {}
+        self.links: Dict[
+            Tuple[Position, Position],
+            Tuple[Tuple[Position, Position], ...],
+        ] = {}
+        self.link_ids: Dict[Tuple[Position, Position], Tuple[int, ...]] = {}
+
+
+#: Route tables depend only on the mesh geometry, so every Mesh of the
+#: same size shares one cache — experiment sweeps build a fresh Mesh per
+#: run and would otherwise re-walk every route from cold each time.
+_SHARED_ROUTE_CACHES: Dict[Tuple[int, int], RouteCache] = {}
 
 
 class Mesh:
@@ -20,6 +48,10 @@ class Mesh:
             raise ValueError(f"invalid mesh {width}x{height}")
         self.width = width
         self.height = height
+        cache = _SHARED_ROUTE_CACHES.get((width, height))
+        if cache is None:
+            cache = _SHARED_ROUTE_CACHES.setdefault((width, height), RouteCache())
+        self.route_cache = cache
 
     def __len__(self) -> int:
         return self.width * self.height

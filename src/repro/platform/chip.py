@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.platform.core import Core, CoreState
 from repro.platform.dvfs import VFTable, build_vf_table
 from repro.platform.technology import DEFAULT_TDP_W, TechnologyNode, get_node
+
+#: Chip-level transition listener: ``cb(core, old_state, new_state)``.
+#: Level/leakage changes are reported with ``old_state is new_state``.
+TransitionListener = Callable[[Core, CoreState, CoreState], None]
 
 
 class Chip:
@@ -14,6 +18,13 @@ class Chip:
 
     The chip owns the cores and the node/DVFS parameters; power computation
     lives in :mod:`repro.power` and communication in :mod:`repro.noc`.
+
+    Core state is *indexed*: the chip maintains one id set per
+    :class:`CoreState`, updated through the cores' transition callbacks,
+    so ``idle_cores()``/``busy_cores()``/``testing_cores()`` cost time
+    proportional to their result instead of a full mesh rescan.  Query
+    results are always in ascending core-id order (the same deterministic
+    order the original full scans produced).
     """
 
     def __init__(
@@ -35,12 +46,38 @@ class Chip:
         self.tdp_w = tdp_w
         self.cores: List[Core] = []
         self._by_pos: Dict[Tuple[int, int], Core] = {}
+        self._state_ids: Dict[CoreState, Set[int]] = {s: set() for s in CoreState}
+        #: Memoized ``cores_in_state`` lists, invalidated per-state on
+        #: transitions; control planes query the same states many times
+        #: between transitions, so the sort is amortized away.
+        self._state_lists: Dict[CoreState, Optional[List[Core]]] = {
+            s: None for s in CoreState
+        }
+        #: Memoized ascending-id lists per state (the meter's sum order).
+        self._sorted_ids: Dict[CoreState, Optional[List[int]]] = {
+            s: None for s in CoreState
+        }
+        #: Memoized ``free_cores`` result, invalidated on any state change
+        #: and (via the cores' owner callbacks) on any ownership change.
+        self._free_list: Optional[List[Core]] = None
+        #: Exact count of idle-and-unowned cores, maintained O(1) through
+        #: the state/ownership callbacks so admission checks need not build
+        #: the free list at all.
+        self._free_count: int = width * height
+        #: Monotonic change counter covering every state/level/leakage/
+        #: ownership mutation; control code can compare two reads to know
+        #: whether anything on the chip moved in between.
+        self.mutations: int = 0
+        self._listeners: List[TransitionListener] = []
         initial = self.vf_table.max_level
         for y in range(height):
             for x in range(width):
                 core = Core(core_id=y * width + x, x=x, y=y, level=initial)
+                core.transition_cb = self._on_core_transition
+                core.owner_cb = self._on_owner_change
                 self.cores.append(core)
                 self._by_pos[(x, y)] = core
+                self._state_ids[core.state].add(core.core_id)
 
     @classmethod
     def build(
@@ -54,6 +91,58 @@ class Chip:
         """Convenience constructor from a node name."""
         node = get_node(node_name)
         return cls(width, height, node, build_vf_table(node, n_vf_levels), tdp_w)
+
+    # ------------------------------------------------------------------
+    # Transition tracking
+    # ------------------------------------------------------------------
+    def _on_core_transition(
+        self, core: Core, old: CoreState, new: CoreState
+    ) -> None:
+        self.mutations += 1
+        if new is not old:
+            self._state_ids[old].discard(core.core_id)
+            self._state_ids[new].add(core.core_id)
+            self._state_lists[old] = None
+            self._state_lists[new] = None
+            self._sorted_ids[old] = None
+            self._sorted_ids[new] = None
+            self._free_list = None
+            if core._owner_app is None:
+                if old is CoreState.IDLE:
+                    self._free_count -= 1
+                elif new is CoreState.IDLE:
+                    self._free_count += 1
+        for listener in self._listeners:
+            listener(core, old, new)
+
+    def _on_owner_change(
+        self, core: Core, old: Optional[int], new: Optional[int]
+    ) -> None:
+        self.mutations += 1
+        self._free_list = None
+        if core._state is CoreState.IDLE:
+            # Exactly one of old/new is None (the setter filters no-ops,
+            # and app ids never change hands without a release in between).
+            if new is None:
+                self._free_count += 1
+            elif old is None:
+                self._free_count -= 1
+
+    def add_transition_listener(self, listener: TransitionListener) -> None:
+        """Subscribe to core state/level/leakage changes (e.g. the meter)."""
+        self._listeners.append(listener)
+
+    def state_ids(self, state: CoreState) -> Set[int]:
+        """Ids of cores currently in ``state`` (live view; do not mutate)."""
+        return self._state_ids[state]
+
+    def sorted_state_ids(self, state: CoreState) -> List[int]:
+        """Ascending ids of cores in ``state``.  Treat as read-only."""
+        cached = self._sorted_ids[state]
+        if cached is None:
+            cached = sorted(self._state_ids[state])
+            self._sorted_ids[state] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -90,7 +179,15 @@ class Chip:
     # State summaries
     # ------------------------------------------------------------------
     def cores_in_state(self, state: CoreState) -> List[Core]:
-        return [c for c in self.cores if c.state is state]
+        """Cores in ``state``, ascending core id.  Treat as read-only."""
+        cached = self._state_lists[state]
+        if cached is None:
+            cores = self.cores
+            # Shares the sorted-id cache so a state queried both ways
+            # between transitions sorts once.
+            cached = [cores[i] for i in self.sorted_state_ids(state)]
+            self._state_lists[state] = cached
+        return cached
 
     def idle_cores(self) -> List[Core]:
         return self.cores_in_state(CoreState.IDLE)
@@ -102,11 +199,30 @@ class Chip:
         return self.cores_in_state(CoreState.TESTING)
 
     def healthy_cores(self) -> List[Core]:
-        return [c for c in self.cores if c.state is not CoreState.FAULTY]
+        faulty = self._state_ids[CoreState.FAULTY]
+        if not faulty:
+            return list(self.cores)
+        return [c for c in self.cores if c.core_id not in faulty]
 
     def free_cores(self) -> List[Core]:
-        """Cores the mapper may allocate right now (idle and unowned)."""
-        return [c for c in self.cores if c.is_idle() and c.owner_app is None]
+        """Cores the mapper may allocate right now (idle and unowned).
+
+        Treat the result as read-only: it is memoized until the next state
+        or ownership change.
+        """
+        cached = self._free_list
+        if cached is None:
+            cached = [
+                c
+                for c in self.cores_in_state(CoreState.IDLE)
+                if c._owner_app is None
+            ]
+            self._free_list = cached
+        return cached
+
+    def n_free_cores(self) -> int:
+        """``len(free_cores())`` without building the list (O(1))."""
+        return self._free_count
 
     def lit_fraction(self) -> float:
         """Dark-silicon lit fraction of this chip under its own TDP."""

@@ -16,7 +16,8 @@ list of busy intervals and answers window queries exactly.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Tuple
+from bisect import bisect_right
+from typing import Callable, List, Optional, Tuple
 
 from repro.platform.dvfs import VFLevel
 
@@ -29,6 +30,11 @@ class CoreState(enum.Enum):
     TESTING = "testing"    # executing an SBST routine
     FAULTY = "faulty"      # fault detected -> retired (permanently dark)
 
+    # Members are singletons compared by identity, so the id-based C slot
+    # hash is equivalent to Enum's name-based Python __hash__ — and the
+    # chip's per-state indexes hash states on every transition and query.
+    __hash__ = object.__hash__
+
 
 class BusyWindow:
     """Exact busy-time accounting over a sliding window.
@@ -40,6 +46,9 @@ class BusyWindow:
 
     def __init__(self) -> None:
         self._intervals: List[Tuple[float, float]] = []
+        #: Interval end times, kept in lockstep for binary search: intervals
+        #: are non-overlapping and appended in time order, so ends ascend.
+        self._ends: List[float] = []
         self.total_busy: float = 0.0
 
     def add(self, start: float, end: float) -> None:
@@ -53,6 +62,7 @@ class BusyWindow:
                 f"{start} < previous end {self._intervals[-1][1]}"
             )
         self._intervals.append((start, end))
+        self._ends.append(end)
         self.total_busy += end - start
 
     def busy_in(self, t0: float, t1: float) -> float:
@@ -60,7 +70,12 @@ class BusyWindow:
         if t1 <= t0:
             return 0.0
         total = 0.0
-        for start, end in self._intervals:
+        # Skip straight to the first interval that can overlap the window;
+        # everything before it ends at or before t0.
+        first = bisect_right(self._ends, t0)
+        for start, end in self._intervals[first:]:
+            if start >= t1:
+                break
             lo = max(start, t0)
             hi = min(end, t1)
             if hi > lo:
@@ -79,25 +94,45 @@ class BusyWindow:
     def prune(self, horizon: float) -> None:
         """Drop intervals that end before ``horizon``."""
         self._intervals = [iv for iv in self._intervals if iv[1] > horizon]
+        self._ends = [end for _, end in self._intervals]
 
 
 class Core:
-    """State record of one processing tile."""
+    """State record of one processing tile.
+
+    ``state``, ``level`` and ``leak_factor`` are observable: the owning
+    :class:`~repro.platform.chip.Chip` installs a transition callback so
+    its per-state indexes and the incremental power meter stay in sync
+    with *every* mutation, including direct assignments in tests.
+    """
 
     def __init__(self, core_id: int, x: int, y: int, level: VFLevel) -> None:
         self.core_id = core_id
         self.x = x
         self.y = y
-        self.state = CoreState.IDLE
-        self.level = level
+        #: Mesh coordinates as a tuple; a plain attribute (not a property)
+        #: because mapping and NoC code read it in tight loops.
+        self.position: Tuple[int, int] = (x, y)
+        self._state = CoreState.IDLE
+        self._level = level
+        #: Installed by Chip; called as ``cb(core, old_state, new_state)``
+        #: on state changes and ``cb(core, s, s)`` on level/leakage changes.
+        self.transition_cb: Optional[Callable[["Core", CoreState, CoreState], None]] = None
         # Process-variation factors (see repro.platform.variation): this
         # core's frequency multiplier at any DVFS level, and its leakage
         # multiplier. 1.0 means a nominal (variation-free) core.
         self.speed_factor: float = 1.0
-        self.leak_factor: float = 1.0
+        self._leak_factor: float = 1.0
         # Workload bookkeeping
         self.current_task: Optional[object] = None
-        self.owner_app: Optional[int] = None
+        self._owner_app: Optional[int] = None
+        #: Installed by Chip; called as ``cb(core, old_owner, new_owner)``
+        #: whenever ownership changes, so the chip can maintain its
+        #: free-core list/count even on direct ``core.owner_app = ...``
+        #: assignments in tests.
+        self.owner_cb: Optional[
+            Callable[["Core", Optional[int], Optional[int]], None]
+        ] = None
         self.busy_window = BusyWindow()
         self.busy_until: float = 0.0
         # Test bookkeeping
@@ -116,12 +151,61 @@ class Core:
         self.fault_detected_at: Optional[float] = None
 
     # ------------------------------------------------------------------
-    # Convenience predicates
+    # Observable fields
     # ------------------------------------------------------------------
     @property
-    def position(self) -> Tuple[int, int]:
-        return (self.x, self.y)
+    def state(self) -> CoreState:
+        return self._state
 
+    @state.setter
+    def state(self, new_state: CoreState) -> None:
+        old = self._state
+        if new_state is old:
+            return
+        self._state = new_state
+        if self.transition_cb is not None:
+            self.transition_cb(self, old, new_state)
+
+    @property
+    def level(self) -> VFLevel:
+        return self._level
+
+    @level.setter
+    def level(self, new_level: VFLevel) -> None:
+        if new_level is self._level:
+            return
+        self._level = new_level
+        if self.transition_cb is not None:
+            self.transition_cb(self, self._state, self._state)
+
+    @property
+    def owner_app(self) -> Optional[int]:
+        return self._owner_app
+
+    @owner_app.setter
+    def owner_app(self, app_id: Optional[int]) -> None:
+        old = self._owner_app
+        if app_id == old:
+            return
+        self._owner_app = app_id
+        if self.owner_cb is not None:
+            self.owner_cb(self, old, app_id)
+
+    @property
+    def leak_factor(self) -> float:
+        return self._leak_factor
+
+    @leak_factor.setter
+    def leak_factor(self, factor: float) -> None:
+        if factor == self._leak_factor:
+            return
+        self._leak_factor = factor
+        if self.transition_cb is not None:
+            self.transition_cb(self, self._state, self._state)
+
+    # ------------------------------------------------------------------
+    # Convenience predicates
+    # ------------------------------------------------------------------
     def speed_at(self, level: Optional[VFLevel] = None) -> float:
         """Effective execution speed (ops/µs) including process variation."""
         lvl = level if level is not None else self.level

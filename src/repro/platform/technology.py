@@ -103,6 +103,54 @@ class TechnologyNode:
         return 1.0 - self.lit_fraction(n_cores, tdp_w)
 
 
+# ----------------------------------------------------------------------
+# Memoized power evaluation (the simulation fast path)
+# ----------------------------------------------------------------------
+# A run evaluates the analytic power model millions of times but only ever
+# at a handful of distinct (node, V/F level, activity) points: the DVFS
+# ladder has ~8 levels and activities come from a small set of workload /
+# SBST profiles.  Caching the *exact* method results keeps every consumer
+# bit-identical to the analytic model while skipping the transcendental
+# math.  The memo dict hangs off each node instance (``object.__setattr__``
+# sidesteps the frozen dataclass) and is keyed by the remaining float
+# arguments, so lookups hash small tuples in C instead of running the
+# dataclass-generated ``TechnologyNode.__hash__`` per call the way an
+# ``lru_cache`` over all arguments would.
+
+
+def cached_dynamic_power(
+    node: TechnologyNode, vdd: float, f_mhz: float, activity: float = 1.0
+) -> float:
+    """Memoized :meth:`TechnologyNode.dynamic_power` (bit-identical)."""
+    try:
+        cache = node._dyn_cache
+    except AttributeError:
+        cache = {}
+        object.__setattr__(node, "_dyn_cache", cache)
+    key = (vdd, f_mhz, activity)
+    try:
+        return cache[key]
+    except KeyError:
+        value = node.dynamic_power(vdd, f_mhz, activity)
+        cache[key] = value
+        return value
+
+
+def cached_leakage_power(node: TechnologyNode, vdd: float) -> float:
+    """Memoized :meth:`TechnologyNode.leakage_power` (bit-identical)."""
+    try:
+        cache = node._leak_cache
+    except AttributeError:
+        cache = {}
+        object.__setattr__(node, "_leak_cache", cache)
+    try:
+        return cache[vdd]
+    except KeyError:
+        value = node.leakage_power(vdd)
+        cache[vdd] = value
+        return value
+
+
 #: Calibrated node table.  With the default 80 W TDP on an 8x8 chip the lit
 #: fractions are ~0.93 / 0.76 / 0.56 / 0.40 for 45/32/22/16 nm, matching the
 #: utilization-wall trend the dark-silicon literature reports.

@@ -27,6 +27,7 @@ from typing import Callable, List, Optional
 from repro.platform.chip import Chip
 from repro.platform.core import Core
 from repro.platform.dvfs import VFLevel
+from repro.platform.technology import cached_dynamic_power, cached_leakage_power
 from repro.power.budget import PowerBudget
 from repro.power.meter import PowerMeter
 from repro.power.pid import PIDController, PIDGains
@@ -178,6 +179,22 @@ class PIDPowerManager(PowerManager):
         super().__init__(chip, meter, budget, actuator)
         self.controller = PIDController(budget.guarded_cap, gains)
         self.utilization_window_us = utilization_window_us
+        # ``start_level_for`` may bisect the ladder instead of scanning it
+        # iff busy power is nondecreasing level to level *in the cached
+        # floats*.  Checking at activity 1.0 suffices: multiplying a sorted
+        # pair by the same non-negative activity (or leak factor) and
+        # adding componentwise sorted terms preserves order under IEEE
+        # rounding, so sortedness here implies it for every task.
+        node = chip.node
+        dyn = [
+            cached_dynamic_power(node, lvl.vdd, lvl.f_mhz, 1.0)
+            for lvl in chip.vf_table
+        ]
+        leak = [cached_leakage_power(node, lvl.vdd) for lvl in chip.vf_table]
+        self._ladder_sorted = all(
+            dyn[i] <= dyn[i + 1] and leak[i] <= leak[i + 1]
+            for i in range(len(dyn) - 1)
+        )
 
     def preferred_start_level(self) -> VFLevel:
         """Start new tasks one step below nominal; the PID lifts them."""
@@ -194,12 +211,45 @@ class PIDPowerManager(PowerManager):
         regime work is admitted at the lowest operating point rather than
         refused, and the PID lifts it as headroom appears.
         """
-        headroom = self.current_cap() - self.meter.chip_power()
+        meter = self.meter
+        headroom = self.current_cap() - meter.chip_power()
         table = self.chip.vf_table
-        for index in range(len(table) - 1, -1, -1):
+        # Inlined ``meter.added_power_if_busy`` with the loop-invariant
+        # current core power hoisted; the float expression per level is
+        # ``(dyn + leak·lf) - base``, identical to the meter's.
+        base = meter.core_power(core)
+        node = self.chip.node
+        lf = core.leak_factor
+
+        def fits(index: int) -> bool:
             level = table[index]
-            if self.meter.added_power_if_busy(core, level, activity) <= headroom:
-                return level
+            busy = (
+                cached_dynamic_power(node, level.vdd, level.f_mhz, activity)
+                + cached_leakage_power(node, level.vdd) * lf
+            )
+            return busy - base <= headroom
+
+        top = len(table) - 1
+        if self._ladder_sorted:
+            # ``fits`` is then monotone (true on a prefix of the ladder),
+            # so probe the common cases — unconstrained chips take the top
+            # level, saturated ones the floor — and bisect the rest for
+            # the highest fitting index.  Same level the scan returns.
+            if fits(top):
+                return table[top]
+            if not fits(0):
+                return table.min_level
+            lo, hi = 0, top - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if fits(mid):
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return table[lo]
+        for index in range(top, -1, -1):
+            if fits(index):
+                return table[index]
         return table.min_level
 
     def tick(self, now: float, dt: float) -> None:
@@ -218,21 +268,26 @@ class PIDPowerManager(PowerManager):
             return
         predicted = measured
         table = self.chip.vf_table
+        # Cores pinned at the ladder's end contribute nothing to either
+        # branch, so they are dropped before sorting; ``sorted`` is stable,
+        # which keeps the surviving cores in exactly the order the full
+        # sort would have visited them — the applied changes are identical.
         if predicted > target:
             # Slow down: lowest-criticality, biggest consumers first, one
             # ladder step per core per epoch until the prediction fits —
             # hard real-time work is throttled only after best-effort work
             # has given everything it can (the ICCD'14 priority model).
+            candidates = [c for c in busy if c.level.index != 0]
+            if not candidates:
+                return
             order = sorted(
-                busy,
+                candidates,
                 key=lambda c: (-self.rt_rank(c), self.meter.core_power(c)),
                 reverse=True,
             )
             for core in order:
                 if predicted <= target:
                     break
-                if core.level.index == 0:
-                    continue
                 new_level = table.step(core.level, -1)
                 predicted += self.meter.predicted_delta(core, new_level)
                 self._apply(core, new_level)
@@ -240,16 +295,18 @@ class PIDPowerManager(PowerManager):
             # Speed up: real-time work first, then most-utilized cores, so
             # throughput-critical tiles reclaim headroom before lightly
             # loaded ones.
+            top = len(table) - 1
+            candidates = [c for c in busy if c.level.index < top]
+            if not candidates:
+                return
             order = sorted(
-                busy,
+                candidates,
                 key=lambda c: (
                     self.rt_rank(c),
                     -c.utilization(now, self.utilization_window_us),
                 ),
             )
             for core in order:
-                if core.level.index >= len(table) - 1:
-                    continue
                 new_level = table.step(core.level, +1)
                 delta = self.meter.predicted_delta(core, new_level)
                 if predicted + delta > target:

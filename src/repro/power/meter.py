@@ -11,16 +11,29 @@ into Watts, split into the channels the experiments report:
 
 Idle cores are power gated and retain only a small gated-leakage fraction;
 retired (faulty) cores are fully dark.
+
+**Fast path.** The meter subscribes to the chip's core-transition feed
+and keeps a per-core cache of each core's dynamic and leakage
+contribution (evaluated through the memoized technology model), plus
+running per-channel sums that are refreshed lazily when some core changed
+since the last query.  ``breakdown()``/``chip_power()``/``headroom()``
+are therefore O(1) between transitions instead of an O(width·height)
+rescan per query.  The refresh accumulates the cached per-core values in
+ascending core-id order — exactly the order the original full scan used —
+so the fast path is **bit-identical** to the scan, not an approximation.
+The original scan survives as :meth:`scan_breakdown` and can be run as a
+periodic audit against the incremental sums via ``verify_every_n``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.platform.chip import Chip
 from repro.platform.core import Core, CoreState
 from repro.platform.dvfs import VFLevel
+from repro.platform.technology import cached_dynamic_power, cached_leakage_power
 
 
 @dataclass(frozen=True)
@@ -37,23 +50,148 @@ class PowerBreakdown:
         return self.workload + self.test + self.leakage + self.noc
 
 
+class MeterAuditError(RuntimeError):
+    """Incremental sums diverged from the full-scan audit (a meter bug)."""
+
+
 class PowerMeter:
-    """Computes instantaneous chip power from platform state."""
+    """Computes instantaneous chip power from platform state.
+
+    ``verify_every_n`` is a debug knob: when positive, every n-th
+    :meth:`breakdown` additionally runs the original full scan and raises
+    :class:`MeterAuditError` if any channel deviates by more than
+    ``audit_tolerance_w`` — an always-on self-check for long soak runs.
+    """
 
     def __init__(
         self,
         chip: Chip,
         gated_leak_fraction: float = 0.03,
         default_activity: float = 1.0,
+        verify_every_n: int = 0,
+        audit_tolerance_w: float = 1e-9,
     ) -> None:
         if not 0.0 <= gated_leak_fraction <= 1.0:
             raise ValueError("gated_leak_fraction must be in [0, 1]")
+        if verify_every_n < 0:
+            raise ValueError("verify_every_n must be non-negative")
         self.chip = chip
         self.gated_leak_fraction = gated_leak_fraction
         self.default_activity = default_activity
+        self.verify_every_n = verify_every_n
+        self.audit_tolerance_w = audit_tolerance_w
+        self.audits_passed = 0
         self._noc_power_w: float = 0.0
         # Activity/test factors set by the execution engine / test runner.
         self._core_activity: Dict[int, float] = {}
+        # Incremental state: per-core channel contributions plus lazily
+        # refreshed per-channel sums.
+        n = len(chip.cores)
+        self._dyn_w: List[float] = [0.0] * n
+        self._leak_w: List[float] = [0.0] * n
+        self._workload_w = 0.0
+        self._test_w = 0.0
+        self._leakage_w = 0.0
+        self._sums_dirty = True
+        # True whenever some per-core leakage value changed since the
+        # leakage channel was last summed.  Most transitions (task start,
+        # task end) leave every leakage value intact under a fixed-level
+        # policy, and summing unchanged floats reproduces the previous
+        # result bit for bit — so the 1-per-core re-sum can be skipped.
+        self._leak_stale = True
+        # Cores whose cached contributions are stale.  Transitions only
+        # mark; the recompute happens on the next read, so the bursts of
+        # back-to-back changes a task start produces (state, level,
+        # activity) cost one refresh instead of three.
+        self._dirty_cores: set = set()
+        self._queries = 0
+        # Direct references to the node's memo dicts (see
+        # repro.platform.technology): _refresh_core runs on every core
+        # transition, so its cache hits must not pay a function call.
+        node = chip.node
+        cached_dynamic_power(node, self.chip.vf_table.max_level.vdd,
+                             self.chip.vf_table.max_level.f_mhz)
+        cached_leakage_power(node, self.chip.vf_table.max_level.vdd)
+        self._node_dyn_cache: Dict[tuple, float] = node._dyn_cache
+        self._node_leak_cache: Dict[float, float] = node._leak_cache
+        for core in chip:
+            self._refresh_core(core)
+        chip.add_transition_listener(self._on_core_transition)
+
+    # ------------------------------------------------------------------
+    # Incremental bookkeeping
+    # ------------------------------------------------------------------
+    def _on_core_transition(
+        self, core: Core, old: CoreState, new: CoreState
+    ) -> None:
+        if new is not old and new in (CoreState.IDLE, CoreState.FAULTY):
+            # A gated or retired core has no switching activity; dropping
+            # the factor here guarantees a dead core can never contribute
+            # dynamic power through a stale entry.
+            self._core_activity.pop(core.core_id, None)
+        self._dirty_cores.add(core.core_id)
+        self._sums_dirty = True
+
+    def _refresh_core(self, core: Core) -> None:
+        """Re-derive one core's cached channel contributions.
+
+        Reads the core's ``_state``/``_level``/``_leak_factor`` slots
+        directly (skipping the observer properties) and hits the node memo
+        dicts inline: this runs on every transition of every core.
+        """
+        cid = core.core_id
+        state = core._state
+        level = core._level
+        if state is CoreState.BUSY or state is CoreState.TESTING:
+            activity = self._core_activity.get(cid, self.default_activity)
+            key = (level.vdd, level.f_mhz, activity)
+            dyn = self._node_dyn_cache.get(key)
+            if dyn is None:
+                dyn = cached_dynamic_power(
+                    self.chip.node, level.vdd, level.f_mhz, activity
+                )
+            self._dyn_w[cid] = dyn
+        else:
+            self._dyn_w[cid] = 0.0
+        if state is CoreState.FAULTY:
+            leak = 0.0
+        else:
+            base = self._node_leak_cache.get(level.vdd)
+            if base is None:
+                base = cached_leakage_power(self.chip.node, level.vdd)
+            leak = base * core._leak_factor
+            if state is CoreState.IDLE:
+                leak = leak * self.gated_leak_fraction
+        if leak != self._leak_w[cid]:
+            self._leak_w[cid] = leak
+            self._leak_stale = True
+
+    def _refresh_sums(self) -> None:
+        """Rebuild the channel sums from the per-core caches.
+
+        Accumulation runs in ascending core-id order — the order of the
+        original full scan — so the result is bit-identical to it.  Faulty
+        cores hold a cached 0.0, matching the scan's explicit ``+= 0.0``.
+        """
+        if self._dirty_cores:
+            self._flush_dirty()
+        # ``sum`` adds left-to-right from zero exactly like the explicit
+        # accumulation loop did, so the floats are unchanged.
+        dyn = self._dyn_w
+        chip = self.chip
+        self._workload_w = sum(
+            map(dyn.__getitem__, chip.sorted_state_ids(CoreState.BUSY))
+        )
+        self._test_w = sum(
+            map(dyn.__getitem__, chip.sorted_state_ids(CoreState.TESTING))
+        )
+        if self._leak_stale:
+            # Re-summing unchanged values would reproduce the previous
+            # result exactly, so the leakage channel only pays the all-core
+            # sum when some per-core leakage actually moved.
+            self._leakage_w = sum(self._leak_w)
+            self._leak_stale = False
+        self._sums_dirty = False
 
     # ------------------------------------------------------------------
     # External load registration
@@ -70,6 +208,8 @@ class PowerMeter:
             if activity < 0:
                 raise ValueError("activity must be >= 0")
             self._core_activity[core.core_id] = activity
+        self._dirty_cores.add(core.core_id)
+        self._sums_dirty = True
 
     def add_noc_power(self, watts: float) -> None:
         self._noc_power_w += watts
@@ -89,45 +229,122 @@ class PowerMeter:
     # ------------------------------------------------------------------
     # Power computation
     # ------------------------------------------------------------------
+    def _flush_dirty(self) -> None:
+        """Recompute every stale per-core contribution."""
+        cores = self.chip.cores
+        for cid in self._dirty_cores:
+            self._refresh_core(cores[cid])
+        self._dirty_cores.clear()
+
     def core_dynamic(self, core: Core, level: Optional[VFLevel] = None) -> float:
         """Dynamic power of ``core`` (0 unless busy or testing)."""
+        if level is None:
+            cid = core.core_id
+            if cid in self._dirty_cores:
+                self._refresh_core(core)
+                self._dirty_cores.discard(cid)
+            return self._dyn_w[cid]
         if core.state not in (CoreState.BUSY, CoreState.TESTING):
             return 0.0
-        lvl = level if level is not None else core.level
         activity = self._core_activity.get(core.core_id, self.default_activity)
-        return self.chip.node.dynamic_power(lvl.vdd, lvl.f_mhz, activity)
+        return cached_dynamic_power(
+            self.chip.node, level.vdd, level.f_mhz, activity
+        )
 
     def core_leakage(self, core: Core, level: Optional[VFLevel] = None) -> float:
         """Leakage power of ``core`` given its gating state and variation."""
+        if level is None:
+            cid = core.core_id
+            if cid in self._dirty_cores:
+                self._refresh_core(core)
+                self._dirty_cores.discard(cid)
+            return self._leak_w[cid]
         if core.state is CoreState.FAULTY:
             return 0.0
-        lvl = level if level is not None else core.level
-        leak = self.chip.node.leakage_power(lvl.vdd) * core.leak_factor
+        leak = cached_leakage_power(self.chip.node, level.vdd) * core.leak_factor
         if core.state is CoreState.IDLE:
             return leak * self.gated_leak_fraction
         return leak
 
     def core_power(self, core: Core, level: Optional[VFLevel] = None) -> float:
+        if level is None:
+            cid = core.core_id
+            if cid in self._dirty_cores:
+                self._refresh_core(core)
+                self._dirty_cores.discard(cid)
+            return self._dyn_w[cid] + self._leak_w[cid]
         return self.core_dynamic(core, level) + self.core_leakage(core, level)
 
     def breakdown(self) -> PowerBreakdown:
         """Instantaneous chip power split into reporting channels."""
+        if self._sums_dirty:
+            self._refresh_sums()
+        result = PowerBreakdown(
+            workload=self._workload_w,
+            test=self._test_w,
+            leakage=self._leakage_w,
+            noc=self._noc_power_w,
+        )
+        if self.verify_every_n:
+            self._queries += 1
+            if self._queries % self.verify_every_n == 0:
+                self._audit(result)
+        return result
+
+    def scan_breakdown(self) -> PowerBreakdown:
+        """Reference full scan over all cores (the pre-fast-path algorithm).
+
+        Kept as the audit path: it re-derives every channel from live core
+        state through the unmemoized analytic model.
+        """
         workload = 0.0
         test = 0.0
         leakage = 0.0
+        node = self.chip.node
         for core in self.chip:
-            dyn = self.core_dynamic(core)
-            if core.state is CoreState.BUSY:
-                workload += dyn
-            elif core.state is CoreState.TESTING:
-                test += dyn
-            leakage += self.core_leakage(core)
+            if core.state in (CoreState.BUSY, CoreState.TESTING):
+                activity = self._core_activity.get(
+                    core.core_id, self.default_activity
+                )
+                dyn = node.dynamic_power(core.level.vdd, core.level.f_mhz, activity)
+                if core.state is CoreState.BUSY:
+                    workload += dyn
+                else:
+                    test += dyn
+            if core.state is CoreState.FAULTY:
+                leak = 0.0
+            else:
+                leak = node.leakage_power(core.level.vdd) * core.leak_factor
+                if core.state is CoreState.IDLE:
+                    leak = leak * self.gated_leak_fraction
+            leakage += leak
         return PowerBreakdown(
             workload=workload, test=test, leakage=leakage, noc=self._noc_power_w
         )
 
+    def _audit(self, incremental: PowerBreakdown) -> None:
+        reference = self.scan_breakdown()
+        for channel in ("workload", "test", "leakage", "noc"):
+            got = getattr(incremental, channel)
+            want = getattr(reference, channel)
+            if abs(got - want) > self.audit_tolerance_w:
+                raise MeterAuditError(
+                    f"incremental {channel} power {got!r} diverged from "
+                    f"full-scan value {want!r} after {self._queries} queries"
+                )
+        self.audits_passed += 1
+
     def chip_power(self) -> float:
-        return self.breakdown().total
+        """Total chip power; same additions as ``breakdown().total``.
+
+        When auditing is enabled the query goes through :meth:`breakdown`
+        so it counts toward the ``verify_every_n`` cadence.
+        """
+        if self.verify_every_n:
+            return self.breakdown().total
+        if self._sums_dirty:
+            self._refresh_sums()
+        return self._workload_w + self._test_w + self._leakage_w + self._noc_power_w
 
     def headroom(self, budget_w: float) -> float:
         """Unused budget right now (may be negative when over budget)."""
@@ -141,7 +358,7 @@ class PowerMeter:
         self, core: Core, level: VFLevel, activity: float
     ) -> float:
         """Power added if the (currently gated) core started work at ``level``."""
-        busy = self.chip.node.dynamic_power(
-            level.vdd, level.f_mhz, activity
-        ) + self.chip.node.leakage_power(level.vdd) * core.leak_factor
+        busy = cached_dynamic_power(
+            self.chip.node, level.vdd, level.f_mhz, activity
+        ) + cached_leakage_power(self.chip.node, level.vdd) * core.leak_factor
         return busy - self.core_power(core)

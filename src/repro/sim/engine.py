@@ -16,9 +16,15 @@ Determinism guarantees:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.events import Event, PRIORITY_CONTROL, PRIORITY_NORMAL
+
+#: Heap entries are plain ``(time, priority, seq, event)`` tuples so the
+#: C heap implementation compares numbers directly instead of calling the
+#: dataclass-generated ``Event.__lt__``; the key is exactly the event's
+#: ordering key, so pop order is unchanged.
+_HeapEntry = Tuple[float, int, int, Event]
 
 
 class SimulationError(RuntimeError):
@@ -28,12 +34,20 @@ class SimulationError(RuntimeError):
 class Simulator:
     """Discrete-event simulation kernel with a deterministic event order."""
 
+    #: Compact the heap when cancelled events outnumber live ones and
+    #: there are enough of them to matter.  Compaction preserves the pop
+    #: order exactly: events are totally ordered by (time, priority, seq),
+    #: so re-heapifying the survivors cannot reorder anything.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[_HeapEntry] = []
+        self._n_cancelled = 0  # cancelled events still sitting in the heap
         self._running = False
         self._stopped = False
         self.events_fired: int = 0
+        self.heap_compactions: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -51,8 +65,24 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self.now}"
             )
         event = Event(time=time, priority=priority, action=action, args=args)
-        heapq.heappush(self._heap, event)
+        event.cancel_cb = self._on_event_cancelled
+        heapq.heappush(self._heap, (time, priority, event.seq, event))
         return event
+
+    def _on_event_cancelled(self, _event: Event) -> None:
+        self._n_cancelled += 1
+        if (
+            self._n_cancelled > self.COMPACT_MIN_CANCELLED
+            and self._n_cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap and restore the invariant."""
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._n_cancelled = 0
+        self.heap_compactions += 1
 
     def schedule(
         self,
@@ -64,7 +94,13 @@ class Simulator:
         """Schedule ``action(*args)`` after ``delay`` time units."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.at(self.now + delay, action, *args, priority=priority)
+        # Inlined ``at`` (minus its past-time check, vacuous for delay >= 0):
+        # this is the busiest entry point into the kernel.
+        time = self.now + delay
+        event = Event(time=time, priority=priority, action=action, args=args)
+        event.cancel_cb = self._on_event_cancelled
+        heapq.heappush(self._heap, (time, priority, event.seq, event))
+        return event
 
     def every(
         self,
@@ -102,20 +138,31 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         self._stopped = False
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                event = self._heap[0]
+            heap = self._heap
+            while heap:
+                time, _, _, event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
+                    self._n_cancelled -= 1
+                    # _compact() replaces the heap list object.
+                    heap = self._heap
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                self.now = event.time
-                event.fire()
+                heappop(heap)
+                event.cancel_cb = None  # popped: no longer tracked
+                self.now = time
+                # Inlined Event.fire(): a popped event is not cancelled
+                # (checked above) and cancellation from inside an action
+                # only affects *other* heap entries.
+                if event.action is not None:
+                    event.action(*event.args)
                 self.events_fired += 1
                 if self._stopped:
                     break
+                heap = self._heap
             if until is not None and not self._stopped and self.now < until:
                 self.now = until
         finally:
@@ -128,12 +175,13 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
+            self._n_cancelled -= 1
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def pending(self) -> int:
-        """Number of pending (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of pending (non-cancelled) events (O(1))."""
+        return len(self._heap) - self._n_cancelled

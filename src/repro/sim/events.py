@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 #: Default priority for ordinary model events.
 PRIORITY_NORMAL = 50
@@ -25,7 +25,7 @@ PRIORITY_EARLY = 10
 _seq = itertools.count()
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -35,14 +35,24 @@ class Event:
 
     time: float
     priority: int
-    seq: int = field(default_factory=lambda: next(_seq))
+    seq: int = field(default_factory=_seq.__next__)
     action: Callable[..., Any] = field(compare=False, default=None)
     args: Tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: Set by the owning simulator while the event sits in its heap, and
+    #: cleared when the event is popped; lets the engine keep an exact
+    #: live-event count without scanning the heap.
+    cancel_cb: Optional[Callable[["Event"], None]] = field(
+        compare=False, default=None, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the engine will skip it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.cancel_cb is not None:
+            self.cancel_cb(self)
 
     def fire(self) -> None:
         """Invoke the event's action (no-op when cancelled)."""

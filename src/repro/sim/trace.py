@@ -29,17 +29,23 @@ class Trace:
         last timestamp overwrites it (the final value at a time wins, which
         matches the engine's same-time event semantics).
         """
-        times = self._times.setdefault(name, [])
-        values = self._values.setdefault(name, [])
-        if times and time < times[-1]:
-            raise ValueError(
-                f"non-monotonic record for {name!r}: {time} < {times[-1]}"
-            )
-        if times and time == times[-1]:
-            values[-1] = value
+        times = self._times.get(name)
+        if times is None:
+            times = self._times[name] = []
+            values = self._values[name] = []
         else:
-            times.append(time)
-            values.append(value)
+            values = self._values[name]
+        if times:
+            last = times[-1]
+            if time < last:
+                raise ValueError(
+                    f"non-monotonic record for {name!r}: {time} < {last}"
+                )
+            if time == last:
+                values[-1] = value
+                return
+        times.append(time)
+        values.append(value)
 
     def increment(self, name: str, time: float, delta: float) -> None:
         """Record ``last_value + delta`` (0 start) for counter-style series."""

@@ -106,6 +106,10 @@ class TestRunner:
         self.checkpointing = checkpointing
         self.stats = TestStats()
         self._sessions: Dict[int, TestSession] = {}
+        # level index -> estimated added power; the inputs (node, library,
+        # gated leak fraction) are fixed for the runner's lifetime and the
+        # scheduler asks for the same handful of levels every tick.
+        self._estimated_power_cache: Dict[int, float] = {}
         # core_id -> (level_index, elapsed_us already executed)
         self._checkpoints: Dict[int, tuple] = {}
         #: Hooks invoked with (core, session) on lifecycle transitions.
@@ -127,9 +131,15 @@ class TestRunner:
         The idle core already leaks a gated fraction; the added cost is the
         session power minus the gated leakage it replaces.
         """
+        try:
+            return self._estimated_power_cache[level.index]
+        except KeyError:
+            pass
         full = self.library.session_power(self.chip.node, level)
         gated = self.chip.node.leakage_power(level.vdd) * self.meter.gated_leak_fraction
-        return full - gated
+        value = full - gated
+        self._estimated_power_cache[level.index] = value
+        return value
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -33,12 +33,20 @@ class ApplicationGraph:
             self.successors[edge.src].append(edge)
             self.predecessors[edge.dst].append(edge)
         self._topo = self._topological_order()
+        #: Task count as a plain attribute: mappers test it on every
+        #: placement attempt and ``len(graph)`` costs a Python frame.
+        self.n_tasks = len(self.tasks)
+        self.n_edges = len(self.edges)
+        # The graph is immutable, so the root/sink orderings are too;
+        # computing them here keeps admission off the sort path.
+        self._roots = sorted(t for t in self.tasks if not self.predecessors[t])
+        self._sinks = sorted(t for t in self.tasks if not self.successors[t])
 
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.tasks)
+        return self.n_tasks
 
     def _topological_order(self) -> List[int]:
         indegree = {t: len(self.predecessors[t]) for t in self.tasks}
@@ -61,13 +69,16 @@ class ApplicationGraph:
 
     @property
     def topo_order(self) -> List[int]:
-        return list(self._topo)
+        """Topological task order.  Treat as read-only (not a copy)."""
+        return self._topo
 
     def roots(self) -> List[int]:
-        return sorted(t for t in self.tasks if not self.predecessors[t])
+        """Tasks with no predecessors.  Treat as read-only (not a copy)."""
+        return self._roots
 
     def sinks(self) -> List[int]:
-        return sorted(t for t in self.tasks if not self.successors[t])
+        """Tasks with no successors.  Treat as read-only (not a copy)."""
+        return self._sinks
 
     def total_ops(self) -> float:
         return sum(task.ops for task in self.tasks.values())
@@ -110,7 +121,7 @@ class ApplicationInstance:
         return self.graph.name
 
     def is_finished(self) -> bool:
-        return len(self.completed_tasks) == len(self.graph.tasks)
+        return len(self.completed_tasks) == self.graph.n_tasks
 
     def is_started(self) -> bool:
         return self.start_time is not None
