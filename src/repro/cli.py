@@ -3,8 +3,11 @@
 Commands:
 
 * ``run``        — run one simulation and print its summary
+  (``--journal PATH`` writes a JSONL event journal, ``--profile`` prints
+  the phase profile)
 * ``experiment`` — run experiment(s) by id (E1..E10, A1..A6)
 * ``sweep``      — sweep one config field over values, print a row per run
+* ``obs``        — summarize/filter a JSONL run journal
 * ``list``       — show available experiments, scenarios, nodes, policies
 
 The CLI is a thin shell over the library: everything it does is a few
@@ -61,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--variation", action="store_true", help="enable process variation")
     run_p.add_argument("--save-config", help="write the effective config JSON here")
     run_p.add_argument("--export-trace", help="write the power/count traces as CSV here")
+    run_p.add_argument(
+        "--journal", metavar="PATH",
+        help="enable the event journal and write it as JSONL here",
+    )
+    run_p.add_argument(
+        "--journal-level", choices=("info", "debug"), default="info",
+        help="journal verbosity (debug adds core state transitions)",
+    )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="enable the phase profiler and print the per-subsystem profile",
+    )
 
     exp_p = sub.add_parser("experiment", help="run experiments by id")
     exp_p.add_argument("ids", nargs="+", help="experiment ids, e.g. E2 E9 A4")
@@ -80,6 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for the sweep points "
              "(results are identical to a serial run)",
+    )
+
+    obs_p = sub.add_parser("obs", help="summarize/filter a JSONL run journal")
+    obs_p.add_argument("journal", help="JSONL journal written by run --journal")
+    obs_p.add_argument(
+        "--type", dest="type_prefix", metavar="PREFIX",
+        help="print events whose type starts with PREFIX (e.g. test.)",
+    )
+    obs_p.add_argument(
+        "--core", type=int, help="restrict --type output to one core id"
+    )
+    obs_p.add_argument(
+        "--tail", type=int, metavar="N", help="print only the last N matches"
+    )
+    obs_p.add_argument(
+        "--decisions", action="store_true",
+        help="print every test launch/defer decision with reason and headroom",
     )
 
     sub.add_parser("list", help="show experiments, scenarios, nodes, policies")
@@ -120,10 +152,14 @@ def _effective_config(args: argparse.Namespace) -> SystemConfig:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs import Journal, PhaseProfiler
+
     config = _effective_config(args)
     if args.save_config:
         save_config(config, args.save_config)
-    result = run_system(config)
+    journal = Journal(level=args.journal_level) if args.journal else None
+    profiler = PhaseProfiler() if args.profile else None
+    result = run_system(config, journal=journal, profiler=profiler)
     rows = [[key, value] for key, value in result.summary().items()]
     print(
         format_table(
@@ -143,6 +179,56 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.export_trace:
         write_text(args.export_trace, trace_to_csv(result.metrics.trace))
         print(f"trace written to {args.export_trace}")
+    if journal is not None:
+        journal.write_jsonl(args.journal)
+        print(f"journal written to {args.journal} ({len(journal)} events)")
+    if profiler is not None:
+        print(profiler.report())
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import Journal, audit
+
+    try:
+        events = Journal.load_jsonl(args.journal)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read journal {args.journal!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.decisions:
+        decisions = audit.test_decisions(events)
+        if not decisions:
+            print("no test decisions in journal")
+            return 0
+        rows = [
+            [
+                d["time"],
+                d["action"],
+                d["core"],
+                d["level"] if d["level"] is not None else "-",
+                d["headroom_w"],
+                d["reason"],
+            ]
+            for d in decisions
+        ]
+        print(
+            format_table(
+                ["t_us", "action", "core", "level", "headroom_w", "reason"],
+                rows,
+                title=f"test decisions ({len(rows)})",
+            )
+        )
+        return 0
+    if args.type_prefix:
+        matches = [e for e in events if e.type.startswith(args.type_prefix)]
+        if args.core is not None:
+            matches = [e for e in matches if e.data.get("core") == args.core]
+        if args.tail is not None:
+            matches = matches[-args.tail:]
+        for event in matches:
+            print(event.to_json())
+        return 0
+    print(audit.format_summary(events))
     return 0
 
 
@@ -232,6 +318,7 @@ _COMMANDS = {
     "run": cmd_run,
     "experiment": cmd_experiment,
     "sweep": cmd_sweep,
+    "obs": cmd_obs,
     "list": cmd_list,
 }
 

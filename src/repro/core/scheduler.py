@@ -24,7 +24,7 @@ test campaign cannot monopolise the chip even under very light load.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.criticality import CriticalityParameters, TestCriticality
 from repro.platform.chip import Chip
@@ -82,56 +82,174 @@ class PowerAwareTestScheduler(TestSchedulerBase):
         ]
         return self.criticality.rank(due, now)
 
-    def affordable_level(self, core: Core, now: float, headroom: float) -> Optional[VFLevel]:
-        """Preferred level, downgraded until its session power fits."""
-        preferred = self.pick_level(core, now)
-        index = preferred.index
+    def _fitting_level(self, core: Core, now: float, headroom: float) -> Optional[VFLevel]:
+        """Pure downgrade walk: preferred level, lowered until it fits.
+
+        Mutates nothing — shared by the admitting path (which counts
+        downgrades) and the read-only audit path (:meth:`explain`).
+        """
+        index = self.pick_level(core, now).index
         while index >= 0:
             level = self.chip.vf_table[index]
             if self.runner.estimated_power(level) <= headroom:
-                if index != preferred.index:
-                    self.downgraded_levels += 1
                 return level
             index -= 1
         return None
+
+    def affordable_level(self, core: Core, now: float, headroom: float) -> Optional[VFLevel]:
+        """Preferred level, downgraded until its session power fits."""
+        level = self._fitting_level(core, now, headroom)
+        if level is not None and level.index != self.pick_level(core, now).index:
+            self.downgraded_levels += 1
+        return level
 
     # ------------------------------------------------------------------
     # Control
     # ------------------------------------------------------------------
     def tick(self, now: float, dt: float) -> None:
+        journal = self.journal
         measured = self.meter.chip_power()
         if measured > self.budget.cap:
-            self._emergency(measured)
+            aborted = self._emergency(measured)
+            if journal.enabled:
+                journal.emit(
+                    "test.emergency",
+                    now,
+                    measured_w=measured,
+                    cap_w=self.budget.cap,
+                    aborted=aborted,
+                )
             return
         headroom = self.budget.guarded_cap - measured - self.reserve_w
-        if headroom <= 0:
-            return
         slots = self.max_concurrent - len(self.runner.active_sessions())
-        if slots <= 0:
+        if headroom <= 0 or slots <= 0:
+            if journal.enabled:
+                # Every due core is deferred this epoch; ``candidates`` is
+                # read-only, so the journal-only ranking changes nothing.
+                reason = "no-headroom" if headroom <= 0 else "max-concurrent"
+                for core in self.candidates(now):
+                    journal.emit(
+                        "test.defer",
+                        now,
+                        core=core.core_id,
+                        reason=reason,
+                        headroom_w=headroom,
+                        criticality=self.criticality.value(core, now),
+                    )
             return
-        for core in self.candidates(now):
+        ranked = self.candidates(now)
+        for position, core in enumerate(ranked):
             if slots <= 0 or headroom <= 0:
+                if journal.enabled:
+                    reason = "max-concurrent" if slots <= 0 else "no-headroom"
+                    for waiting in ranked[position:]:
+                        journal.emit(
+                            "test.defer",
+                            now,
+                            core=waiting.core_id,
+                            reason=reason,
+                            headroom_w=headroom,
+                            criticality=self.criticality.value(waiting, now),
+                        )
                 break
             level = self.affordable_level(core, now, headroom)
             if level is None:
                 self.skipped_no_budget += 1
+                if journal.enabled:
+                    journal.emit(
+                        "test.defer",
+                        now,
+                        core=core.core_id,
+                        reason="no-level-fits",
+                        headroom_w=headroom,
+                        criticality=self.criticality.value(core, now),
+                    )
                 continue
             cost = self.runner.estimated_power(level)
+            if journal.enabled:
+                journal.emit(
+                    "test.launch",
+                    now,
+                    core=core.core_id,
+                    level=level.index,
+                    headroom_w=headroom,
+                    cost_w=cost,
+                    criticality=self.criticality.value(core, now),
+                    downgraded=level.index != self.pick_level(core, now).index,
+                )
             self.runner.start(core, level)
             headroom -= cost
             slots -= 1
 
-    def _emergency(self, measured: float) -> None:
-        """Abort sessions, youngest first, until back under the hard cap."""
+    def explain(self, now: float) -> Dict[str, object]:
+        """Read-only decision audit: what :meth:`tick` would do right now.
+
+        Replays the admission walk (headroom check, criticality ranking,
+        level downgrade) against the live chip without starting or aborting
+        anything and without touching the scheduler's counters — safe to
+        call between ticks, from tests, or from a debugger.
+        """
+        measured = self.meter.chip_power()
+        headroom = self.budget.guarded_cap - measured - self.reserve_w
+        slots = self.max_concurrent - len(self.runner.active_sessions())
+        report: Dict[str, object] = {
+            "time": now,
+            "measured_w": measured,
+            "cap_w": self.budget.cap,
+            "guarded_cap_w": self.budget.guarded_cap,
+            "emergency": measured > self.budget.cap,
+            "headroom_w": headroom,
+            "slots": slots,
+            "decisions": [],
+        }
+        if report["emergency"]:
+            return report
+        decisions: List[Dict[str, object]] = report["decisions"]  # type: ignore[assignment]
+        for core in self.candidates(now):
+            entry: Dict[str, object] = {
+                "core": core.core_id,
+                "criticality": self.criticality.value(core, now),
+                "headroom_w": headroom,
+            }
+            if slots <= 0:
+                entry.update(action="defer", reason="max-concurrent")
+            elif headroom <= 0:
+                entry.update(action="defer", reason="no-headroom")
+            else:
+                level = self._fitting_level(core, now, headroom)
+                if level is None:
+                    entry.update(action="defer", reason="no-level-fits")
+                else:
+                    preferred = self.pick_level(core, now)
+                    cost = self.runner.estimated_power(level)
+                    entry.update(
+                        action="launch",
+                        level=level.index,
+                        cost_w=cost,
+                        downgraded=level.index != preferred.index,
+                    )
+                    headroom -= cost
+                    slots -= 1
+            decisions.append(entry)
+        return report
+
+    def _emergency(self, measured: float) -> int:
+        """Abort sessions, youngest first, until back under the hard cap.
+
+        Returns the number of sessions aborted.
+        """
         sessions = sorted(
             self.runner.active_sessions(),
             key=lambda s: s.started_at,
             reverse=True,
         )
+        aborted = 0
         for session in sessions:
             if measured <= self.budget.cap:
                 break
             cost = self.runner.estimated_power(session.level)
             self.runner.abort(session.core)
             self.emergency_aborts += 1
+            aborted += 1
             measured -= cost
+        return aborted

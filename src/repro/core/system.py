@@ -22,7 +22,8 @@ used by the examples and every experiment.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from time import perf_counter as _perf_counter
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.aging.faults import FaultInjector, FaultParameters, FaultRecord
@@ -36,6 +37,10 @@ from repro.mapping.baselines import ContiguousMapper, RandomFreeMapper, ScatterM
 from repro.mapping.mappro import MapProMapper
 from repro.metrics.collectors import MetricsCollector
 from repro.noc.model import NocModel, NocParameters
+from repro.obs import active_journal, active_profiler
+from repro.obs.journal import Journal
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.provenance import RunManifest, digest_of
 from repro.noc.queued import QueuedNocModel
 from repro.noc.topology import Mesh
 from repro.platform.chip import Chip
@@ -152,6 +157,8 @@ class SimulationResult:
     events_fired: int
     emergency_aborts: int = 0
     skipped_no_budget: int = 0
+    #: Provenance manifest (config, seed, version, summary digest, profile).
+    manifest: Optional[RunManifest] = None
 
     # ------------------------------------------------------------------
     @property
@@ -208,9 +215,21 @@ _ARRIVAL_TRACES_MAX = 64
 class ManycoreSystem:
     """One fully-wired simulation instance."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        journal: Optional[Journal] = None,
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> None:
         self.config = config
+        # Observability sinks: explicit argument, else the process-wide
+        # default installed by repro.obs.configure (NULL_* when off).
+        self.journal = journal if journal is not None else active_journal()
+        self.profiler = profiler if profiler is not None else active_profiler()
+        self._map_acc = None  # cached "mapping" accumulator
         self.sim = Simulator()
+        if self.profiler.enabled:
+            self.sim.profiler = self.profiler
         self.streams = StreamRegistry(config.seed)
         self.chip = Chip.build(
             config.width,
@@ -355,6 +374,43 @@ class ManycoreSystem:
         )
         self.executor.on_app_finished.append(self.metrics.on_app_finished)
         self.executor.on_cores_freed.append(lambda now: self._try_map())
+        if self.profiler.enabled:
+            self.executor.profiler = self.profiler
+        if self.journal.enabled:
+            self.runner.journal = self.journal
+            self.test_scheduler.journal = self.journal
+            self.power_manager.journal = self.journal
+            self.executor.on_app_finished.append(self._journal_app_finish)
+            if self.journal.level == "debug":
+                # High-rate state churn: only worth the listener call when
+                # the journal would actually keep core.transition events.
+                self.chip.add_transition_listener(self._journal_core_transition)
+
+    # ------------------------------------------------------------------
+    # Journal emission (all read-only: no RNG, no model state, no floats)
+    # ------------------------------------------------------------------
+    def _journal_app_finish(self, app: ApplicationInstance, now: float) -> None:
+        self.journal.emit(
+            "app.finish",
+            now,
+            app=app.app_id,
+            turnaround_us=now - app.arrival_time,
+            waited_us=(
+                app.start_time - app.arrival_time
+                if app.start_time is not None
+                else None
+            ),
+        )
+
+    def _journal_core_transition(self, core, old, new) -> None:
+        if old is not new:
+            self.journal.emit(
+                "core.transition",
+                self.sim.now,
+                core=core.core_id,
+                from_state=old.name,
+                to_state=new.name,
+            )
 
     # ------------------------------------------------------------------
     # Workload
@@ -398,6 +454,15 @@ class ManycoreSystem:
         self._app_counter += 1
         app = arrival.instantiate(self._app_counter)
         self.metrics.on_app_arrival(app, self.sim.now)
+        if self.journal.enabled:
+            self.journal.emit(
+                "app.arrival",
+                self.sim.now,
+                app=app.app_id,
+                name=app.graph.name,
+                n_tasks=app.graph.n_tasks,
+                rt_class=app.graph.rt_class,
+            )
         self.queue.append(app)
         self._try_map()
 
@@ -451,6 +516,22 @@ class ManycoreSystem:
         )
 
     def _try_map(self) -> None:
+        # Mapping attempts fire on every arrival, core release and control
+        # tick — hot enough that timing goes through a cached accumulator
+        # (see ExecutionEngine._start_transfer) rather than a context
+        # manager per call.
+        if self.profiler.enabled:
+            acc = self._map_acc
+            if acc is None:
+                acc = self._map_acc = self.profiler.accumulator("mapping")
+            t0 = _perf_counter()
+            self._try_map_impl()
+            acc.calls += 1
+            acc.wall_s += _perf_counter() - t0
+            return
+        self._try_map_impl()
+
+    def _try_map_impl(self) -> None:
         while self.queue:
             app = self._next_in_queue()
             mutations = self.chip.mutations
@@ -478,6 +559,18 @@ class ManycoreSystem:
                 n_avail = slots
             if app.graph.n_tasks > n_avail:
                 self._map_blocked = (app, mutations)
+                if self.journal.debug:
+                    # Debug-level: fires per distinct blockage (the memo
+                    # above dedupes retries of the same chip state), which
+                    # is still far more often than any decision event.
+                    self.journal.emit(
+                        "map.blocked",
+                        self.sim.now,
+                        app=app.app_id,
+                        reason="insufficient-cores",
+                        n_tasks=app.graph.n_tasks,
+                        n_available=n_avail,
+                    )
                 return
             ctx = MappingContext(
                 self.chip, self.mesh, self.sim.now, self._available_cores()
@@ -485,6 +578,15 @@ class ManycoreSystem:
             placement = self.mapper.map_application(app, ctx)
             if placement is None:
                 self._map_blocked = (app, mutations)
+                if self.journal.debug:
+                    self.journal.emit(
+                        "map.blocked",
+                        self.sim.now,
+                        app=app.app_id,
+                        reason="mapper-refused",
+                        n_tasks=app.graph.n_tasks,
+                        n_available=n_avail,
+                    )
                 return
             for core_id in placement.values():
                 core = self.chip.core(core_id)
@@ -493,6 +595,14 @@ class ManycoreSystem:
             self.queue.remove(app)
             self.executor.admit(app, placement)
             self.metrics.on_app_admitted(app, self.sim.now)
+            if self.journal.enabled:
+                self.journal.emit(
+                    "app.map",
+                    self.sim.now,
+                    app=app.app_id,
+                    cores=tuple(sorted(placement.values())),
+                    waited_us=self.sim.now - app.arrival_time,
+                )
 
     # ------------------------------------------------------------------
     # Control loop
@@ -509,16 +619,27 @@ class ManycoreSystem:
             self.metrics.trace.record(
                 "thermal.max_c", now, self.thermal.hottest()
             )
-        self.power_manager.tick(now, dt)
+        with self.profiler.phase("pid.step"):
+            self.power_manager.tick(now, dt)
         if (
             self.thermal is None
             or self.thermal.headroom_c() >= self.config.thermal_test_margin_c
         ):
             # Thermal guard: on a chip already near the junction limit, the
             # high-toggle SBST sessions are deferred until it cools.
-            self.test_scheduler.tick(now, dt)
+            with self.profiler.phase("test.schedule"):
+                self.test_scheduler.tick(now, dt)
         self._try_map()
-        self.metrics.sample_power(now, self.meter.breakdown())
+        breakdown = self.meter.breakdown()
+        if self.journal.enabled and self.budget.violated(breakdown.total):
+            self.journal.emit(
+                "budget.violation",
+                now,
+                measured_w=breakdown.total,
+                cap_w=self.budget.cap,
+                overshoot_w=breakdown.total - self.budget.cap,
+            )
+        self.metrics.sample_power(now, breakdown)
         self.metrics.sample_counts(
             now,
             busy=len(self.chip.state_ids(CoreState.BUSY)),
@@ -543,7 +664,7 @@ class ManycoreSystem:
         scheduler = self.test_scheduler
         emergency = getattr(scheduler, "emergency_aborts", 0)
         skipped = getattr(scheduler, "skipped_no_budget", 0)
-        return SimulationResult(
+        result = SimulationResult(
             config=self.config,
             horizon_us=self.config.horizon_us,
             metrics=self.metrics,
@@ -568,8 +689,30 @@ class ManycoreSystem:
             emergency_aborts=emergency,
             skipped_no_budget=skipped,
         )
+        result.manifest = self._build_manifest(result)
+        return result
+
+    def _build_manifest(self, result: SimulationResult) -> RunManifest:
+        # Imported lazily: repro (the package root) imports repro.core, so
+        # a top-level import here would be a cycle.
+        import repro
+
+        return RunManifest(
+            version=getattr(repro, "__version__", "0"),
+            seed=self.config.seed,
+            horizon_us=self.config.horizon_us,
+            config=asdict(self.config),
+            summary_digest=digest_of(sorted(result.summary().items())),
+            profile=self.profiler.summary() if self.profiler.enabled else {},
+            journal_events=len(self.journal),
+            journal_dropped=self.journal.dropped,
+        )
 
 
-def run_system(config: SystemConfig) -> SimulationResult:
+def run_system(
+    config: SystemConfig,
+    journal: Optional[Journal] = None,
+    profiler: Optional[PhaseProfiler] = None,
+) -> SimulationResult:
     """Build and run one simulation (the one-call public entry point)."""
-    return ManycoreSystem(config).run()
+    return ManycoreSystem(config, journal=journal, profiler=profiler).run()

@@ -20,6 +20,9 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     series: Dict[str, List[float]] = field(default_factory=dict)
     scalars: Dict[str, float] = field(default_factory=dict)
+    #: Run provenance (experiment id, code version, kwargs, rows digest);
+    #: filled by :func:`repro.experiments.run_experiment`.
+    provenance: Dict[str, object] = field(default_factory=dict)
 
     def render(self, precision: int = 3) -> str:
         """Human-readable report block for terminals and logs."""

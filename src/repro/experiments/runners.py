@@ -564,11 +564,25 @@ EXPERIMENTS = {
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"E2"``)."""
+    """Run one experiment by id (e.g. ``"E2"``).
+
+    The returned result carries a provenance dict (code version, kwargs,
+    digest over the rows) so archived tables stay attributable.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(**kwargs)
+    result = runner(**kwargs)
+    import repro
+    from repro.obs.provenance import experiment_provenance
+
+    result.provenance = experiment_provenance(
+        experiment_id,
+        getattr(repro, "__version__", "0"),
+        result.rows,
+        kwargs,
+    )
+    return result

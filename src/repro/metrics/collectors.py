@@ -31,6 +31,11 @@ class AppRecord:
     start_time: float
     finish_time: float
     rt_class: str = "best-effort"
+    #: True when the app "finished" without ever starting (no admission
+    #: timestamp).  ``start_time`` then holds the finish time as a
+    #: placeholder and the record is excluded from waiting/turnaround
+    #: statistics.
+    aborted: bool = False
 
     @property
     def waiting_time(self) -> float:
@@ -50,6 +55,7 @@ class MetricsCollector:
         self.apps_arrived = 0
         self.apps_admitted = 0
         self.apps_completed = 0
+        self.apps_aborted = 0
         self.tasks_completed = 0
         self.ops_completed = 0.0
         self.app_records: List[AppRecord] = []
@@ -68,7 +74,14 @@ class MetricsCollector:
         self.ops_completed += ops
 
     def on_app_finished(self, app: ApplicationInstance, now: float) -> None:
-        self.apps_completed += 1
+        # A "finishing" app with no start timestamp never ran: count it as
+        # aborted instead of completed so it cannot pollute the waiting-
+        # and turnaround-time statistics with a fabricated start time.
+        aborted = app.start_time is None
+        if aborted:
+            self.apps_aborted += 1
+        else:
+            self.apps_completed += 1
         self.app_records.append(
             AppRecord(
                 app_id=app.app_id,
@@ -79,6 +92,7 @@ class MetricsCollector:
                 start_time=app.start_time if app.start_time is not None else now,
                 finish_time=now,
                 rt_class=app.graph.rt_class,
+                aborted=aborted,
             )
         )
 
@@ -111,21 +125,27 @@ class MetricsCollector:
             raise ValueError("horizon must be positive")
         return self.apps_completed / (horizon_us / 1000.0)
 
+    def completed_records(self) -> List[AppRecord]:
+        """Records of apps that actually ran (aborted ones excluded)."""
+        return [r for r in self.app_records if not r.aborted]
+
     def mean_waiting_time(self) -> Optional[float]:
-        if not self.app_records:
+        records = self.completed_records()
+        if not records:
             return None
-        return sum(r.waiting_time for r in self.app_records) / len(self.app_records)
+        return sum(r.waiting_time for r in records) / len(records)
 
     def mean_turnaround(self) -> Optional[float]:
-        if not self.app_records:
+        records = self.completed_records()
+        if not records:
             return None
-        return sum(r.turnaround for r in self.app_records) / len(self.app_records)
+        return sum(r.turnaround for r in records) / len(records)
 
     def mean_waiting_by_class(self) -> Dict[str, float]:
         """Mean queueing delay per real-time class (completed apps)."""
         sums: Dict[str, float] = {}
         counts: Dict[str, int] = {}
-        for record in self.app_records:
+        for record in self.completed_records():
             sums[record.rt_class] = sums.get(record.rt_class, 0.0) + record.waiting_time
             counts[record.rt_class] = counts.get(record.rt_class, 0) + 1
         return {cls: sums[cls] / counts[cls] for cls in sums}

@@ -1,0 +1,79 @@
+"""Run provenance: manifests that make a result self-describing.
+
+A :class:`RunManifest` is attached to every ``SimulationResult`` (and,
+as a plain dict, to every ``ExperimentResult``) so any archived result
+answers: which code version produced it, from which config and seed,
+with which digest over the computed numbers, and where the wall time
+went.  Manifests are plain picklable dataclasses because results cross
+process boundaries in ``repro.experiments.run_many``.
+
+This module must stay import-light: it is imported by ``repro.core``
+machinery, so it cannot import ``repro`` (version) or ``repro.core``
+(config) itself — callers pass the version string and a config dict
+(``repro.core.config_io.config_to_dict``) in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+
+def digest_of(parts: Iterable[object]) -> str:
+    """sha256 hex digest over ``repr`` of each part.
+
+    ``repr`` of a float round-trips its bit pattern, so digests over
+    result rows detect any numeric drift.  This is the same construction
+    the perf-kernel benchmark uses for its ``rows_digest``.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+    return h.hexdigest()
+
+
+def rows_digest(rows: Iterable[object]) -> str:
+    """Digest over an iterable of result rows (dicts, tuples, ...)."""
+    return digest_of(rows)
+
+
+@dataclass
+class RunManifest:
+    """Provenance attached to a single simulation run."""
+
+    version: str
+    seed: int
+    horizon_us: float
+    config: Dict[str, object] = field(default_factory=dict)
+    summary_digest: str = ""
+    profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    journal_events: int = 0
+    journal_dropped: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "horizon_us": self.horizon_us,
+            "config": self.config,
+            "summary_digest": self.summary_digest,
+            "profile": self.profile,
+            "journal_events": self.journal_events,
+            "journal_dropped": self.journal_dropped,
+        }
+
+
+def experiment_provenance(
+    experiment_id: str,
+    version: str,
+    rows: Iterable[object],
+    kwargs: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Provenance dict for an ``ExperimentResult``."""
+    return {
+        "experiment_id": experiment_id,
+        "version": version,
+        "kwargs": dict(kwargs or {}),
+        "rows_digest": rows_digest(rows),
+    }

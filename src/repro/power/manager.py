@@ -22,8 +22,9 @@ Two policies are provided:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.obs.journal import NULL_JOURNAL
 from repro.platform.chip import Chip
 from repro.platform.core import Core
 from repro.platform.dvfs import VFLevel
@@ -53,6 +54,11 @@ class PowerManager:
         self.budget = budget
         self._actuator = actuator
         self.level_changes = 0
+        #: Observability sink (no-op by default; installed by the system).
+        self.journal = NULL_JOURNAL
+        #: Simulation time of the current tick; kept for journal emission
+        #: from :meth:`_apply`, which has no ``now`` in scope.
+        self._tick_now = 0.0
         #: Real-time rank of the work on a core (0 = hard-rt, 2 =
         #: best-effort; see repro.workload.generator.RT_CLASSES).  Bound
         #: by the system when mixed-criticality priorities are enabled;
@@ -67,6 +73,14 @@ class PowerManager:
             return
         if self._actuator is None:
             raise RuntimeError(f"{self.name}: no level actuator bound")
+        if self.journal.enabled:
+            self.journal.emit(
+                "dvfs.change",
+                self._tick_now,
+                core=core.core_id,
+                from_level=core.level.index,
+                to_level=level.index,
+            )
         self._actuator(core, level)
         self.level_changes += 1
 
@@ -93,6 +107,26 @@ class PowerManager:
         under the budget by scaling V/F instead.
         """
         return None
+
+    def explain(self, now: float) -> Dict[str, object]:
+        """Read-only decision audit: the policy's view of the chip now.
+
+        Subclasses extend this with their controller state; nothing here
+        may mutate the manager or the chip.
+        """
+        measured = self.meter.chip_power()
+        return {
+            "time": now,
+            "policy": self.name,
+            "measured_w": measured,
+            "cap_w": self.budget.cap,
+            "guarded_cap_w": self.budget.guarded_cap,
+            "headroom_w": self.budget.headroom(measured),
+            "level_changes": self.level_changes,
+            "core_levels": {
+                core.core_id: core.level.index for core in self.chip.busy_cores()
+            },
+        }
 
 
 class NoOpPowerManager(PowerManager):
@@ -127,6 +161,7 @@ class NaiveTDPManager(PowerManager):
         return self._global_level
 
     def tick(self, now: float, dt: float) -> None:
+        self._tick_now = now
         measured = self.meter.chip_power()
         table = self.chip.vf_table
         if measured > self.budget.guarded_cap:
@@ -204,6 +239,16 @@ class PIDPowerManager(PowerManager):
         """The power target ceiling this epoch (static guarded TDP here)."""
         return self.budget.guarded_cap
 
+    def explain(self, now: float) -> Dict[str, object]:
+        report = super().explain(now)
+        report.update(
+            cap_w=self.current_cap(),
+            set_point_w=self.controller.set_point,
+            integral=self.controller.integral,
+            last_error_w=self.controller.last_error,
+        )
+        return report
+
     def start_level_for(self, core: Core, activity: float) -> VFLevel:
         """Fastest level whose added power fits the current headroom.
 
@@ -253,12 +298,24 @@ class PIDPowerManager(PowerManager):
         return table.min_level
 
     def tick(self, now: float, dt: float) -> None:
+        self._tick_now = now
         measured = self.meter.chip_power()
         self.controller.set_point = self.current_cap()
         signal = self.controller.update(measured, dt)
         # Power we may spend next epoch: measured + signal, never above the
         # cap (anti-windup on the actuation side).
         target = min(self.current_cap(), measured + signal)
+        if self.journal.enabled:
+            self.journal.emit(
+                "pid.step",
+                now,
+                measured_w=measured,
+                set_point_w=self.controller.set_point,
+                error_w=self.controller.last_error,
+                integral=self.controller.integral,
+                signal_w=signal,
+                target_w=target,
+            )
         self._actuate(now, measured, target)
 
     # ------------------------------------------------------------------

@@ -48,6 +48,16 @@ class PIDController:
         self._last_error = 0.0
         self._primed = False
 
+    @property
+    def integral(self) -> float:
+        """Clamped integral term (read-only; for audit/journal output)."""
+        return self._integral
+
+    @property
+    def last_error(self) -> float:
+        """Error of the most recent :meth:`update` call."""
+        return self._last_error
+
     def update(self, measured: float, dt: float) -> float:
         """Advance the controller; returns the control signal (Watts).
 

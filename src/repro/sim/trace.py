@@ -91,13 +91,24 @@ class Trace:
             return 0.0
         values = self._values[name]
         total = 0.0
-        # Walk segments [times[i], times[i+1]) clipped to [t0, t1].
-        for i, start in enumerate(times):
-            end = times[i + 1] if i + 1 < len(times) else t1
-            lo = max(start, t0)
-            hi = min(end, t1)
+        n = len(times)
+        # Walk segments [times[i], times[i+1]) clipped to [t0, t1], starting
+        # at the segment containing t0 (bisect) and stopping past t1 instead
+        # of scanning the whole series; the segments visited with hi > lo —
+        # and hence the float additions — are exactly the full walk's.
+        i = bisect.bisect_right(times, t0) - 1
+        if i < 0:
+            i = 0
+        while i < n:
+            start = times[i]
+            if start >= t1:
+                break
+            end = times[i + 1] if i + 1 < n else t1
+            lo = start if start > t0 else t0
+            hi = end if end < t1 else t1
             if hi > lo:
                 total += values[i] * (hi - lo)
+            i += 1
         # Segment before the first record contributes nothing (value unknown).
         return total
 
@@ -120,9 +131,30 @@ class Trace:
     def merge_names(self, names: Iterable[str], out: str) -> None:
         """Create series ``out`` as the pointwise sum of ``names``.
 
-        The union of all record times is used as the new grid.
+        The union of all record times is used as the new grid.  The grid is
+        swept once with one cursor per input series (O((R + G·S)) after the
+        O(R log R) grid sort) instead of a ``value_at`` bisect per grid
+        point per series; the per-point accumulation order — ``names``
+        order, starting from int 0, with absent/not-yet-started series
+        contributing the 0.0 default — matches the naive sum bit for bit.
         """
+        names = list(names)
         grid = sorted({t for n in names if n in self._times for t in self._times[n]})
+        series = [
+            (self._times[n], self._values[n]) if n in self._times else None
+            for n in names
+        ]
+        cursors = [-1] * len(names)  # index of the last record at time <= t
         for t in grid:
-            total = sum(self.value_at(n, t) for n in names)
+            total = 0
+            for k, pair in enumerate(series):
+                if pair is None:
+                    total += 0.0
+                    continue
+                times, values = pair
+                i = cursors[k]
+                while i + 1 < len(times) and times[i + 1] <= t:
+                    i += 1
+                cursors[k] = i
+                total += values[i] if i >= 0 else 0.0
             self.record(out, t, total)

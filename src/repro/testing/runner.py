@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.aging.faults import FaultInjector
 from repro.aging.model import AgingModel
+from repro.obs.journal import NULL_JOURNAL
 from repro.platform.chip import Chip
 from repro.platform.core import Core, CoreState
 from repro.platform.dvfs import VFLevel
@@ -115,6 +116,8 @@ class TestRunner:
         #: Hooks invoked with (core, session) on lifecycle transitions.
         self.on_complete: List[Callable[[Core, TestSession], None]] = []
         self.on_detect: List[Callable[[Core, TestSession], None]] = []
+        #: Observability sink (no-op by default; installed by the system).
+        self.journal = NULL_JOURNAL
 
     # ------------------------------------------------------------------
     # Queries
@@ -172,6 +175,15 @@ class TestRunner:
         )
         self._sessions[core.core_id] = session
         self.stats.started += 1
+        if self.journal.enabled:
+            self.journal.emit(
+                "test.start",
+                now,
+                core=core.core_id,
+                level=level.index,
+                duration_us=duration,
+                resumed=resumed_offset > 0.0,
+            )
         return session
 
     def abort(self, core: Core) -> None:
@@ -192,6 +204,14 @@ class TestRunner:
         self.stats.aborted += 1
         self.stats.test_time_us += elapsed
         core.test_time_total += elapsed
+        if self.journal.enabled:
+            self.journal.emit(
+                "test.abort",
+                self.sim.now,
+                core=core.core_id,
+                level=session.level.index,
+                elapsed_us=elapsed,
+            )
         self._to_idle(core)
 
     def _finish(self, core: Core) -> None:
@@ -203,7 +223,8 @@ class TestRunner:
             self.aging.accrue_test(core, session.duration_us, session.level)
         core.tests_completed += 1
         core.test_time_total += session.duration_us
-        self.stats.test_gaps_us.append(now - core.last_test_end)
+        gap_us = now - core.last_test_end
+        self.stats.test_gaps_us.append(gap_us)
         core.last_test_end = now
         core.stress_since_test = 0.0
         core.tested_levels.add(session.level.index)
@@ -229,6 +250,15 @@ class TestRunner:
                 hook(core, session)
         else:
             self._to_idle(core)
+        if self.journal.enabled:
+            self.journal.emit(
+                "test.complete",
+                now,
+                core=core.core_id,
+                level=session.level.index,
+                detected=detected is not None,
+                gap_us=gap_us,
+            )
         for hook in self.on_complete:
             hook(core, session)
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.obs.journal import NULL_JOURNAL
 from repro.platform.chip import Chip
 from repro.platform.core import Core
 from repro.platform.dvfs import VFLevel
@@ -54,6 +55,9 @@ class TestSchedulerBase:
         self.runner = runner
         self.min_interval_us = min_interval_us
         self.level_policy = level_policy
+        #: Observability sink (no-op by default; the system installs the
+        #: run's journal when journaling is enabled).
+        self.journal = NULL_JOURNAL
 
     # ------------------------------------------------------------------
     # Helpers

@@ -89,6 +89,43 @@ def test_count_sampling(collector):
     assert collector.trace.last("queue.length") == 2.0
 
 
+def test_aborted_app_counted_separately(collector):
+    """An app finishing without ever starting is aborted, not completed,
+    and must not pollute the waiting/turnaround statistics."""
+    ran = app_instance(app_id=1)
+    collector.on_app_arrival(ran, 0.0)
+    ran.start_time = 4.0
+    collector.on_app_finished(ran, 10.0)
+
+    never_ran = app_instance(app_id=2, arrival=1.0)
+    collector.on_app_arrival(never_ran, 1.0)
+    assert never_ran.start_time is None
+    collector.on_app_finished(never_ran, 30.0)
+
+    assert collector.apps_completed == 1
+    assert collector.apps_aborted == 1
+    assert len(collector.app_records) == 2
+    aborted = [r for r in collector.app_records if r.aborted]
+    assert [r.app_id for r in aborted] == [2]
+    assert [r.app_id for r in collector.completed_records()] == [1]
+    # Stats come from the completed app only: waiting 4, turnaround 10.
+    assert collector.mean_waiting_time() == pytest.approx(4.0)
+    assert collector.mean_turnaround() == pytest.approx(10.0)
+    assert collector.mean_waiting_by_class() == {
+        "best-effort": pytest.approx(4.0)
+    }
+
+
+def test_only_aborted_apps_means_no_stats(collector):
+    never_ran = app_instance()
+    collector.on_app_finished(never_ran, 5.0)
+    assert collector.apps_aborted == 1
+    assert collector.apps_completed == 0
+    assert collector.mean_waiting_time() is None
+    assert collector.mean_turnaround() is None
+    assert collector.mean_waiting_by_class() == {}
+
+
 # ----------------------------------------------------------------------
 # Report formatting
 # ----------------------------------------------------------------------

@@ -1,0 +1,160 @@
+"""Tests for metrics/export.py (CSV/JSON dumps) and metrics/report.py
+(ASCII tables, series rendering, sparklines)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.metrics.export import (
+    rows_to_csv,
+    series_to_csv,
+    summary_to_json,
+    trace_to_csv,
+    write_text,
+)
+from repro.metrics.report import format_series, format_table, sparkline
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.record("power.total", 0.0, 10.0)
+    t.record("power.total", 5.0, 20.0)
+    t.record("cores.busy", 2.0, 3.0)
+    return t
+
+
+def _parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+# ----------------------------------------------------------------------
+# export.py
+# ----------------------------------------------------------------------
+def test_trace_to_csv_union_grid(trace):
+    rows = _parse(trace_to_csv(trace))
+    assert rows[0] == ["time_us", "cores.busy", "power.total"]
+    # Union of record times: 0, 2, 5; step-function values at each.
+    assert [r[0] for r in rows[1:]] == ["0.0", "2.0", "5.0"]
+    assert rows[1][1:] == ["0.0", "10.0"]   # cores.busy defaults to 0 before 2.0
+    assert rows[2][1:] == ["3.0", "10.0"]
+    assert rows[3][1:] == ["3.0", "20.0"]
+
+
+def test_trace_to_csv_selected_names(trace):
+    rows = _parse(trace_to_csv(trace, names=["power.total"]))
+    assert rows[0] == ["time_us", "power.total"]
+    assert len(rows) == 3  # only power.total's record times
+
+
+def test_trace_to_csv_regular_grid(trace):
+    rows = _parse(trace_to_csv(trace, grid_step=2.5, t_end=5.0))
+    assert [r[0] for r in rows[1:]] == ["0.0", "2.5", "5.0"]
+
+
+def test_trace_to_csv_errors(trace):
+    with pytest.raises(KeyError):
+        trace_to_csv(trace, names=["missing"])
+    with pytest.raises(ValueError):
+        trace_to_csv(trace, grid_step=1.0)  # t_end required
+    with pytest.raises(ValueError):
+        trace_to_csv(trace, grid_step=-1.0, t_end=5.0)
+
+
+def test_trace_to_csv_empty_trace():
+    rows = _parse(trace_to_csv(Trace()))
+    assert rows == [["time_us"]]
+
+
+def test_series_to_csv_round_trip():
+    text = series_to_csv({"x": [1.0, 2.0], "y": [3.0, 4.0]})
+    rows = _parse(text)
+    assert rows[0] == ["x", "y"]
+    assert rows[1:] == [["1.0", "3.0"], ["2.0", "4.0"]]
+
+
+def test_series_to_csv_errors():
+    with pytest.raises(ValueError):
+        series_to_csv({})
+    with pytest.raises(ValueError):
+        series_to_csv({"x": [1.0], "y": [1.0, 2.0]})
+
+
+def test_rows_to_csv():
+    text = rows_to_csv(["a", "b"], [[1, "x"], [2, "y"]])
+    assert _parse(text) == [["a", "b"], ["1", "x"], ["2", "y"]]
+
+
+def test_rows_to_csv_errors():
+    with pytest.raises(ValueError):
+        rows_to_csv([], [])
+    with pytest.raises(ValueError):
+        rows_to_csv(["a", "b"], [[1]])
+
+
+def test_summary_to_json_sorted_keys():
+    text = summary_to_json({"b": 2.0, "a": 1.0})
+    assert text.index('"a"') < text.index('"b"')
+
+
+def test_write_text(tmp_path):
+    path = tmp_path / "out.csv"
+    write_text(str(path), "a,b\n1,2\n")
+    assert path.read_text() == "a,b\n1,2\n"
+
+
+# ----------------------------------------------------------------------
+# report.py
+# ----------------------------------------------------------------------
+def test_format_table_alignment_and_precision():
+    text = format_table(
+        ["name", "value"], [["x", 1.23456], ["long-name", 2]], precision=2,
+        title="caps",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "caps"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "1.23" in text and "1.2345" not in text
+    assert "2" in lines[-1]  # ints render without decimals
+
+
+def test_format_table_bools_render_as_words():
+    text = format_table(["flag"], [[True], [False]])
+    assert "True" in text and "False" in text
+
+
+def test_format_table_errors():
+    with pytest.raises(ValueError):
+        format_table([], [])
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_format_series_downsamples():
+    xs = [float(i) for i in range(100)]
+    ys = [float(i) * 2 for i in range(100)]
+    text = format_series("s", xs, ys, max_points=10)
+    # Header + separator + title + at most 10 data rows.
+    assert len(text.splitlines()) <= 13
+    assert text.splitlines()[0] == "s"
+
+
+def test_format_series_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        format_series("s", [1.0], [1.0, 2.0])
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    flat = sparkline([1.0, 1.0, 1.0])
+    assert flat == flat[0] * 3
+    line = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert len(line) == 4
+    assert line[0] != line[-1]
+
+
+def test_sparkline_downsamples_to_width():
+    assert len(sparkline(list(range(1000)), width=40)) == 40

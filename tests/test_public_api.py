@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.mapping",
     "repro.metrics",
     "repro.noc",
+    "repro.obs",
     "repro.platform",
     "repro.power",
     "repro.sim",

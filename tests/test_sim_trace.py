@@ -142,6 +142,88 @@ def test_integral_splits_additively(points):
     assert split == pytest.approx(total, abs=1e-6)
 
 
+# ----------------------------------------------------------------------
+# Equivalence with the pre-optimisation reference implementations
+# ----------------------------------------------------------------------
+def _integral_reference(trace, name, t0, t1):
+    """The original full-scan segment walk, kept as the test oracle."""
+    if name not in trace._times:
+        return 0.0
+    times = trace._times[name]
+    values = trace._values[name]
+    total = 0.0
+    n = len(times)
+    for i in range(n):
+        start = times[i]
+        end = times[i + 1] if i + 1 < n else t1
+        lo = max(start, t0)
+        hi = min(end, t1)
+        if hi > lo:
+            total += values[i] * (hi - lo)
+    return total
+
+
+def _merge_reference(trace, names, out):
+    """The original value_at-per-grid-point merge, kept as the test oracle."""
+    grid = sorted(
+        {t for n in names if n in trace._times for t in trace._times[n]}
+    )
+    merged = []
+    for t in grid:
+        merged.append((t, sum(trace.value_at(n, t) for n in names)))
+    return merged
+
+
+_series_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+@given(
+    points=_series_strategy,
+    t0=st.floats(min_value=-10.0, max_value=110.0),
+    width=st.floats(min_value=0.0, max_value=120.0),
+)
+def test_integral_matches_full_scan_reference(points, t0, width):
+    trace = Trace()
+    for t, v in sorted(points, key=lambda p: p[0]):
+        trace.record("s", t, v)
+    t1 = t0 + width
+    assert trace.integral("s", t0, t1) == _integral_reference(
+        trace, "s", t0, t1
+    )
+
+
+@given(
+    series_a=_series_strategy,
+    series_b=_series_strategy,
+    series_c=_series_strategy,
+    include_missing=st.booleans(),
+)
+def test_merge_names_matches_value_at_reference(
+    series_a, series_b, series_c, include_missing
+):
+    trace = Trace()
+    for name, points in (("a", series_a), ("b", series_b), ("c", series_c)):
+        for t, v in sorted(points, key=lambda p: p[0]):
+            trace.record(name, t, v)
+    names = ["a", "b", "c"] + (["absent"] if include_missing else [])
+    expected = _merge_reference(trace, names, "sum")
+    trace.merge_names(names, "sum")
+    if not expected:
+        assert "sum" not in trace.names()
+        return
+    times, values = trace.series("sum")
+    # Bit-exact, not approximate: the one-pass merge must add the same
+    # floats in the same order as the naive per-point sum.
+    assert list(zip(times, values)) == expected
+
+
 @given(
     st.lists(
         st.tuples(
