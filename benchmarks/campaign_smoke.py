@@ -1,0 +1,136 @@
+"""Campaign resume-identity smoke: kill, resume, compare digests.
+
+This is the CI gate for the two contracts ``repro.campaign`` makes:
+
+* **crash tolerance** — a campaign killed mid-run (simulated with the
+  deterministic ``interrupt_after`` hook) loses none of its
+  checkpointed results;
+* **resume identity** — resuming the killed campaign and letting it
+  finish produces an ``aggregate_digest`` byte-identical to a straight
+  uninterrupted run of the same spec.
+
+The script drives the real CLI (``python -m repro campaign ...``), so
+argument plumbing, exit codes and the manifest path are exercised too:
+
+1. ``campaign run`` on the small smoke spec with ``--interrupt-after``
+   set mid-grid — must exit with code 3 (interrupted) and leave a
+   partial ``results.jsonl`` behind;
+2. ``campaign resume`` on the same directory — must exit 0;
+3. ``campaign run`` of the same spec into a *fresh* directory, straight
+   through;
+4. the two manifests' ``aggregate_digest`` values must be equal.
+
+``--artifacts DIR`` copies the resumed campaign's manifest and
+checkpoint store there for CI artifact upload.  Exit status is non-zero
+on any step failure or digest mismatch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/campaign_smoke.py --jobs 2
+    PYTHONPATH=src python benchmarks/campaign_smoke.py --artifacts out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SPEC = Path(__file__).resolve().parent / "campaign_smoke_spec.json"
+
+#: Interrupt after this many checkpointed results (the smoke spec plans
+#: 2 cells x 3 seeds = 6 points, so this kills the campaign mid-grid).
+INTERRUPT_AFTER = 3
+
+
+def _cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+def _step(name: str, proc: subprocess.CompletedProcess, want_rc: int) -> None:
+    status = "ok" if proc.returncode == want_rc else "FAIL"
+    print(f"[{status}] {name}: exit {proc.returncode} (want {want_rc})")
+    if proc.returncode != want_rc:
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        sys.exit(1)
+
+
+def _aggregate(campaign_dir: Path) -> str:
+    manifest = json.loads((campaign_dir / "manifest.json").read_text())
+    return manifest["aggregate_digest"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", default="2", help="worker processes")
+    parser.add_argument(
+        "--artifacts", default=None,
+        help="directory to copy the campaign manifest + store into",
+    )
+    args = parser.parse_args()
+
+    workdir = Path(tempfile.mkdtemp(prefix="campaign-smoke-"))
+    interrupted = workdir / "interrupted"
+    straight = workdir / "straight"
+    common = ("--jobs", args.jobs, "--backoff-s", "0")
+
+    proc = _cli(
+        "campaign", "run", str(SPEC), "--dir", str(interrupted),
+        "--interrupt-after", str(INTERRUPT_AFTER), *common,
+    )
+    _step("run (killed mid-campaign)", proc, want_rc=3)
+
+    results = interrupted / "results.jsonl"
+    n_kept = len(results.read_text().splitlines()) if results.exists() else 0
+    print(f"[ok]   checkpoint survived the kill: {n_kept} record(s)")
+    if n_kept != INTERRUPT_AFTER:
+        print(
+            f"FAIL: expected {INTERRUPT_AFTER} checkpointed records, "
+            f"found {n_kept}",
+            file=sys.stderr,
+        )
+        return 1
+
+    _step(
+        "resume to completion",
+        _cli("campaign", "resume", str(interrupted), *common),
+        want_rc=0,
+    )
+    _step(
+        "uninterrupted control run",
+        _cli("campaign", "run", str(SPEC), "--dir", str(straight), *common),
+        want_rc=0,
+    )
+
+    resumed_digest = _aggregate(interrupted)
+    straight_digest = _aggregate(straight)
+    if resumed_digest != straight_digest:
+        print(
+            f"FAIL: resume identity broken:\n"
+            f"  interrupted+resumed: {resumed_digest}\n"
+            f"  uninterrupted:       {straight_digest}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"[ok]   resume identity: aggregate digest {resumed_digest}")
+
+    if args.artifacts:
+        dest = Path(args.artifacts)
+        dest.mkdir(parents=True, exist_ok=True)
+        for name in ("manifest.json", "results.jsonl", "spec.json"):
+            shutil.copy(interrupted / name, dest / name)
+        print(f"[ok]   artifacts copied to {dest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,271 @@
+"""Campaign orchestration: run, resume, plan, report.
+
+A campaign lives in a directory:
+
+* ``spec.json``      — the :class:`~repro.campaign.spec.CampaignSpec`;
+  ``run`` writes it, ``resume``/``report`` read it back, and a digest
+  mismatch between an existing directory and a new spec is an error;
+* ``results.jsonl``  — the append-only checkpoint store (one record per
+  completed point, fsynced);
+* ``failures.jsonl`` — per-attempt failure log with quarantine marks;
+* ``manifest.json``  — the aggregate report written on completion.
+
+**Resume identity.**  The planner derives the points still to run as a
+pure function of (spec, completed records): fixed mode filters the
+static cross-product by digest; sequential mode grows each cell by
+deterministic seed-prefix batches and evaluates the stopping rule only
+on complete prefixes.  Combined with a report computed solely from the
+store, killing a campaign at *any* point and resuming it yields a
+byte-identical ``aggregate_digest`` to an uninterrupted run — pinned by
+``tests/test_campaign.py`` and the CI smoke job.
+
+Quarantined points stay incomplete: within one invocation they are
+skipped after quarantine (the campaign finishes without them, fully
+attributed), and a later ``resume`` retries them with a fresh attempt
+budget — quarantine is how transient infrastructure failures are kept
+from aborting thousand-run batches, not a permanent verdict on the
+point.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.campaign.executor import (
+    CampaignInterrupted,
+    ExecutionStats,
+    RetryPolicy,
+    RobustExecutor,
+)
+from repro.campaign.report import CampaignReport, build_report
+from repro.campaign.spec import CampaignPoint, CampaignSpec, Cell
+from repro.campaign.store import (
+    FAILURES_FILE,
+    MANIFEST_FILE,
+    RESULTS_FILE,
+    SPEC_FILE,
+    FailureLog,
+    ResultStore,
+)
+from repro.metrics.stats import halfwidth_met
+
+
+def _spec_path(campaign_dir: str) -> str:
+    return os.path.join(campaign_dir, SPEC_FILE)
+
+
+def load_spec(campaign_dir: str) -> CampaignSpec:
+    path = _spec_path(campaign_dir)
+    if not os.path.exists(path):
+        raise FileNotFoundError(
+            f"{campaign_dir!r} is not a campaign directory (no {SPEC_FILE})"
+        )
+    return CampaignSpec.load(path)
+
+
+def _prepare_dir(spec: CampaignSpec, campaign_dir: str) -> None:
+    """Create/validate the campaign directory for a fresh ``run``."""
+    os.makedirs(campaign_dir, exist_ok=True)
+    spec_path = _spec_path(campaign_dir)
+    results_path = os.path.join(campaign_dir, RESULTS_FILE)
+    if os.path.exists(spec_path):
+        existing = CampaignSpec.load(spec_path)
+        if existing.spec_digest() != spec.spec_digest():
+            raise ValueError(
+                f"{campaign_dir!r} already holds campaign "
+                f"{existing.name!r} with a different spec; refusing to "
+                f"mix campaigns in one directory"
+            )
+        if os.path.exists(results_path):
+            raise ValueError(
+                f"{campaign_dir!r} already has results for this spec; "
+                f"use resume to continue it"
+            )
+    else:
+        spec.save(spec_path)
+
+
+# ----------------------------------------------------------------------
+# Planning: which points still need to run
+# ----------------------------------------------------------------------
+def _records_by_cell_seed(
+    records: Dict[str, Dict[str, object]]
+) -> Dict[Tuple[Cell, int], Dict[str, object]]:
+    from repro.campaign.spec import freeze_value
+
+    out: Dict[Tuple[Cell, int], Dict[str, object]] = {}
+    for record in records.values():
+        cell: Cell = tuple(
+            (str(name), freeze_value(value))
+            for name, value in record.get("cell", [])
+        )
+        out[(cell, int(record["seed"]))] = record
+    return out
+
+
+def _cell_trials(record: Dict[str, object]) -> Tuple[int, int]:
+    """(detected, injected) Bernoulli counts of one record."""
+    faults = record.get("faults", [])
+    detected = sum(1 for f in faults if f.get("detected_at") is not None)
+    return detected, len(faults)
+
+
+def plan_missing(
+    spec: CampaignSpec,
+    records: Dict[str, Dict[str, object]],
+    exclude: Optional[Set[str]] = None,
+) -> List[CampaignPoint]:
+    """The points the campaign still needs, as a pure function of state.
+
+    ``exclude`` holds digests quarantined *in this invocation*: they are
+    not replanned (the campaign completes without them), but they also
+    stop sequential growth of their cell — the stopping rule cannot be
+    evaluated on a prefix with a hole in it.
+    """
+    exclude = exclude or set()
+    if not spec.sequential:
+        return [
+            point
+            for point in spec.fixed_points()
+            if point.digest not in records and point.digest not in exclude
+        ]
+    by_cell_seed = _records_by_cell_seed(records)
+    stop = spec.stop
+    missing: List[CampaignPoint] = []
+    index = 0
+    for cell in spec.cells():
+        for n in stop.evaluation_sizes():
+            prefix = [spec.seeds.seed_at(i) for i in range(n)]
+            holes = [
+                seed for seed in prefix if (cell, seed) not in by_cell_seed
+            ]
+            if holes:
+                for seed in holes:
+                    point = spec.point(cell, seed, index=index)
+                    index += 1
+                    if point.digest not in exclude:
+                        missing.append(point)
+                break  # need this prefix complete before evaluating
+            detected = injected = 0
+            for seed in prefix:
+                d, i = _cell_trials(by_cell_seed[(cell, seed)])
+                detected += d
+                injected += i
+            if halfwidth_met(
+                detected,
+                injected,
+                stop.target_half_width,
+                stop.method,
+            ):
+                break  # cell satisfied
+            # else: not satisfied — continue to the next ladder size
+            # (the final size is max_runs; running past it stops here).
+    return missing
+
+
+# ----------------------------------------------------------------------
+# Run / resume / report
+# ----------------------------------------------------------------------
+def run_campaign(
+    campaign_dir: str,
+    spec: Optional[CampaignSpec] = None,
+    jobs: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    timeout_s: Optional[float] = None,
+    interrupt_after: Optional[int] = None,
+    worker=None,
+    resume: bool = False,
+) -> CampaignReport:
+    """Execute a campaign to completion (or controlled interruption).
+
+    ``resume=True`` reads the spec from the directory and skips every
+    checkpointed point; a fresh ``run`` requires a spec and an empty (or
+    brand-new) directory.  Returns the final :class:`CampaignReport`,
+    whose ``aggregate_digest`` is independent of interruptions, worker
+    counts and retry history; also writes ``manifest.json``.
+
+    ``interrupt_after`` (testing/ops hook) deterministically simulates a
+    crash after N newly-checkpointed results by raising
+    :class:`CampaignInterrupted`.
+    """
+    if resume:
+        spec = load_spec(campaign_dir)
+    else:
+        if spec is None:
+            raise ValueError("a fresh run needs a spec")
+        _prepare_dir(spec, campaign_dir)
+    store = ResultStore(os.path.join(campaign_dir, RESULTS_FILE))
+    failures = FailureLog(os.path.join(campaign_dir, FAILURES_FILE))
+    executor_kwargs = {} if worker is None else {"worker": worker}
+    executor = RobustExecutor(
+        jobs=jobs, retry=retry, timeout_s=timeout_s, **executor_kwargs
+    )
+
+    def on_record(point: CampaignPoint, record: Dict[str, object]) -> None:
+        store.append(record)
+
+    def on_failure(
+        point: CampaignPoint, attempt: int, error: str, quarantined: bool
+    ) -> None:
+        failures.append(
+            point.digest, point.seed, point.cell, attempt, error, quarantined
+        )
+
+    records = store.load()
+    quarantined_digests: Set[str] = set()
+    completed_this_invocation = 0
+    # Wave loop: fixed mode needs one wave (plus one to observe "done");
+    # sequential mode grows cells until the planner returns nothing.
+    while True:
+        missing = plan_missing(spec, records, exclude=quarantined_digests)
+        if not missing:
+            break
+        remaining_interrupt = (
+            None
+            if interrupt_after is None
+            else interrupt_after - completed_this_invocation
+        )
+        try:
+            stats: ExecutionStats = executor.run(
+                missing,
+                on_record=on_record,
+                on_failure=on_failure,
+                interrupt_after=remaining_interrupt,
+            )
+        except CampaignInterrupted as exc:
+            raise CampaignInterrupted(
+                completed_this_invocation + exc.completed
+            ) from None
+        completed_this_invocation += stats.completed
+        quarantined_digests |= {q.digest for q in stats.quarantined}
+        records = store.load()
+    report = build_report(
+        spec, records, quarantined=failures.quarantined(records)
+    )
+    _write_manifest(campaign_dir, report)
+    return report
+
+
+def report_campaign(campaign_dir: str) -> CampaignReport:
+    """Rebuild the report of an existing campaign directory."""
+    spec = load_spec(campaign_dir)
+    store = ResultStore(os.path.join(campaign_dir, RESULTS_FILE))
+    failures = FailureLog(os.path.join(campaign_dir, FAILURES_FILE))
+    records = store.load()
+    report = build_report(
+        spec, records, quarantined=failures.quarantined(records)
+    )
+    _write_manifest(campaign_dir, report)
+    return report
+
+
+def _write_manifest(campaign_dir: str, report: CampaignReport) -> None:
+    import repro
+
+    path = os.path.join(campaign_dir, MANIFEST_FILE)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            report.manifest_json(getattr(repro, "__version__", "0"))
+        )
+        handle.write("\n")

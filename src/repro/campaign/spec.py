@@ -1,0 +1,306 @@
+"""Declarative campaign specifications.
+
+A fault-injection *campaign* is the cross-product of a configuration
+grid and a seed plan: every (grid cell × seed) pair is one **point**, a
+fully-resolved :class:`~repro.core.system.SystemConfig` identified by a
+stable content digest (:func:`repro.obs.provenance.config_digest`).
+That digest is the campaign's unit of identity everywhere — the
+checkpoint store keys completed results by it, the executor attributes
+failures to it, and resume skips it.
+
+Two sampling modes:
+
+* **fixed** — ``seeds.count`` replicas per cell, planned up front;
+* **sequential** — when a :class:`StopRule` is present, seeds are added
+  per cell in deterministic batches until the confidence interval on
+  the cell's fault-detection probability is tight enough (or
+  ``max_runs`` is hit).  The rule is always evaluated on a fixed seed
+  *prefix*, so an interrupted campaign resumes to byte-identical
+  aggregates (see ``repro.campaign.runner``).
+
+Specs serialize to JSON (``spec.json`` inside the campaign directory),
+and the spec digest pins the directory to the spec that created it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config_io import config_from_dict, config_to_dict
+from repro.core.system import SystemConfig
+from repro.metrics.stats import binomial_interval  # noqa: F401  (re-export convenience)
+from repro.obs.provenance import config_digest, digest_of
+
+#: One grid cell: the (field, value) overrides that define it, in the
+#: spec's grid-field order.  Hashable so cells can key dictionaries.
+Cell = Tuple[Tuple[str, object], ...]
+
+_STOP_METHODS = ("wilson", "clopper-pearson")
+
+
+def cell_label(cell: Cell) -> str:
+    """Human-readable cell name (``field=value,field=value`` or ``default``)."""
+    if not cell:
+        return "default"
+    return ",".join(f"{name}={value}" for name, value in cell)
+
+
+def cell_digest(cell: Cell) -> str:
+    """Stable identity of a grid cell (independent of seeds)."""
+    return digest_of(sorted(cell))
+
+
+@dataclass(frozen=True)
+class SeedPlan:
+    """Which seeds a campaign draws, per grid cell.
+
+    ``start`` is the first seed; fixed mode runs exactly ``count``
+    consecutive seeds, sequential mode starts from ``start`` and lets
+    the stopping rule decide how many are needed.
+    """
+
+    start: int = 1
+    count: int = 8
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"seed count must be >= 1, got {self.count}")
+
+    def seed_at(self, i: int) -> int:
+        return self.start + i
+
+    def fixed_seeds(self) -> List[int]:
+        return [self.start + i for i in range(self.count)]
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"start": self.start, "count": self.count}
+
+
+@dataclass(frozen=True)
+class StopRule:
+    """Sequential stopping rule on the fault-detection probability.
+
+    Every injected fault is a Bernoulli trial (detected / escaped);
+    sampling of a cell stops once the two-sided CI half-width over the
+    cell's accumulated trials drops to ``target_half_width``, evaluated
+    after ``min_runs`` seeds and then after every further ``batch``
+    seeds, hard-capped at ``max_runs``.  Evaluation points are fixed
+    seed prefixes, never "whatever has finished", so the decision is
+    identical on resume.
+    """
+
+    target_half_width: float
+    min_runs: int = 4
+    max_runs: int = 64
+    batch: int = 4
+    method: str = "wilson"
+
+    def __post_init__(self) -> None:
+        if self.target_half_width <= 0:
+            raise ValueError(
+                f"target_half_width must be positive, "
+                f"got {self.target_half_width}"
+            )
+        if self.min_runs < 1:
+            raise ValueError(f"min_runs must be >= 1, got {self.min_runs}")
+        if self.max_runs < self.min_runs:
+            raise ValueError(
+                f"max_runs ({self.max_runs}) must be >= min_runs "
+                f"({self.min_runs})"
+            )
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.method not in _STOP_METHODS:
+            raise ValueError(
+                f"unknown interval method {self.method!r}; "
+                f"known: {_STOP_METHODS}"
+            )
+
+    def evaluation_sizes(self) -> List[int]:
+        """The deterministic ladder of prefix sizes the rule checks at."""
+        sizes = [self.min_runs]
+        while sizes[-1] < self.max_runs:
+            sizes.append(min(sizes[-1] + self.batch, self.max_runs))
+        return sizes
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target_half_width": self.target_half_width,
+            "min_runs": self.min_runs,
+            "max_runs": self.max_runs,
+            "batch": self.batch,
+            "method": self.method,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One fully-resolved run of a campaign."""
+
+    index: int
+    digest: str
+    cell: Cell
+    seed: int
+    config: SystemConfig
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative definition of a campaign."""
+
+    name: str
+    base: Tuple[Tuple[str, object], ...] = ()
+    grid: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    seeds: SeedPlan = field(default_factory=SeedPlan)
+    stop: Optional[StopRule] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        known = {f.name for f in dataclasses.fields(SystemConfig)}
+        for source, keys in (
+            ("base", [k for k, _ in self.base]),
+            ("grid", [k for k, _ in self.grid]),
+        ):
+            unknown = [k for k in keys if k not in known]
+            if unknown:
+                raise ValueError(
+                    f"unknown SystemConfig fields in {source}: {unknown}"
+                )
+            if "seed" in keys:
+                raise ValueError(
+                    f"'seed' cannot appear in {source}; seeds come from "
+                    f"the seed plan"
+                )
+        for name, values in self.grid:
+            if not values:
+                raise ValueError(f"grid field {name!r} has no values")
+
+    # ------------------------------------------------------------------
+    # Construction / serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        known = {"schema", "name", "base", "grid", "seeds", "stop"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown campaign spec keys: {sorted(unknown)}")
+        base = data.get("base") or {}
+        grid = data.get("grid") or {}
+        if not isinstance(base, dict) or not isinstance(grid, dict):
+            raise ValueError("'base' and 'grid' must be JSON objects")
+        seeds_data = data.get("seeds") or {}
+        stop_data = data.get("stop")
+        return cls(
+            name=str(data.get("name", "")),
+            base=tuple((k, freeze_value(v)) for k, v in base.items()),
+            grid=tuple(
+                (k, tuple(freeze_value(v) for v in values))
+                for k, values in grid.items()
+            ),
+            seeds=SeedPlan(**seeds_data),
+            stop=StopRule(**stop_data) if stop_data else None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("campaign spec JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": 1,
+            "name": self.name,
+            "base": {k: _thaw(v) for k, v in self.base},
+            "grid": {k: [_thaw(v) for v in values] for k, values in self.grid},
+            "seeds": self.seeds.to_dict(),
+            "stop": self.stop.to_dict() if self.stop else None,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def spec_digest(self) -> str:
+        return digest_of([json.dumps(self.to_dict(), sort_keys=True)])
+
+    # ------------------------------------------------------------------
+    # Point enumeration
+    # ------------------------------------------------------------------
+    @property
+    def sequential(self) -> bool:
+        return self.stop is not None
+
+    def cells(self) -> List[Cell]:
+        """Grid cross-product, in spec order (one empty cell if no grid)."""
+        if not self.grid:
+            return [()]
+        names = [name for name, _ in self.grid]
+        value_lists = [values for _, values in self.grid]
+        return [
+            tuple(zip(names, combo))
+            for combo in itertools.product(*value_lists)
+        ]
+
+    def config_for(self, cell: Cell, seed: int) -> SystemConfig:
+        """The fully-resolved config of one point (defaults < base < cell)."""
+        data = config_to_dict(SystemConfig())
+        for key, value in self.base:
+            data[key] = _thaw(value)
+        for key, value in cell:
+            data[key] = _thaw(value)
+        data["seed"] = seed
+        return config_from_dict(data)
+
+    def point(self, cell: Cell, seed: int, index: int = -1) -> CampaignPoint:
+        config = self.config_for(cell, seed)
+        return CampaignPoint(
+            index=index,
+            digest=config_digest(config),
+            cell=cell,
+            seed=seed,
+            config=config,
+        )
+
+    def fixed_points(self) -> List[CampaignPoint]:
+        """Every point of a fixed-mode campaign, in deterministic order."""
+        points: List[CampaignPoint] = []
+        for cell in self.cells():
+            for seed in self.seeds.fixed_seeds():
+                points.append(self.point(cell, seed, index=len(points)))
+        return points
+
+    def n_planned_points(self) -> Optional[int]:
+        """Total planned points (``None`` in sequential mode: data-driven)."""
+        if self.sequential:
+            return None
+        return len(self.cells()) * self.seeds.count
+
+
+def freeze_value(value: object) -> object:
+    """JSON value -> hashable spec value (lists become tuples)."""
+    if isinstance(value, list):
+        return tuple(freeze_value(v) for v in value)
+    return value
+
+
+def _thaw(value: object) -> object:
+    """Spec value -> the form ``config_from_dict`` expects."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value

@@ -1,0 +1,204 @@
+"""Append-only JSONL checkpoint store for campaign results.
+
+Every completed point becomes one JSON line in ``results.jsonl``, keyed
+by the point's config digest and flushed+fsynced on append, so a crash
+can lose at most the line being written — and a torn final line is
+detected and ignored on load.  Records are plain JSON (no pickles):
+the report layer recomputes every aggregate from them, which is what
+makes an interrupted-then-resumed campaign byte-identical to an
+uninterrupted one.
+
+Failures get the same treatment in ``failures.jsonl``: one line per
+failed attempt, with the digest, attempt number, error string and
+whether the point was quarantined.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.campaign.spec import CampaignPoint
+from repro.core.config_io import config_to_dict
+from repro.core.system import SimulationResult
+from repro.obs.provenance import digest_of
+
+RESULTS_FILE = "results.jsonl"
+FAILURES_FILE = "failures.jsonl"
+SPEC_FILE = "spec.json"
+MANIFEST_FILE = "manifest.json"
+
+_RECORD_SCHEMA = 1
+
+
+def record_from_result(
+    point: CampaignPoint, result: SimulationResult
+) -> Dict[str, object]:
+    """Flatten one run into the JSON record the store keeps.
+
+    The record carries everything the campaign report needs — scalar
+    summary, per-fault lifecycle, per-level test counts — so reports
+    never have to re-run or unpickle anything.
+    """
+    return {
+        "schema": _RECORD_SCHEMA,
+        "digest": point.digest,
+        "cell": [[name, value] for name, value in point.cell],
+        "seed": point.seed,
+        "config": config_to_dict(point.config),
+        "summary": result.summary(),
+        "faults": [
+            {
+                "core": r.core_id,
+                "injected_at": r.injected_at,
+                "detected_at": r.detected_at,
+                "manifest_level": r.manifest_level,
+                "kind": r.kind,
+            }
+            for r in result.fault_records
+        ],
+        "per_level_tests": {
+            str(level): count
+            for level, count in sorted(result.per_level_tests.items())
+        },
+        "n_levels": point.config.n_vf_levels,
+        "names": {
+            "scheduler": result.scheduler_name,
+            "mapper": result.mapper_name,
+            "power": result.power_policy_name,
+        },
+    }
+
+
+def record_line(record: Dict[str, object]) -> str:
+    """Canonical serialized form of one record (sorted keys, one line)."""
+    return json.dumps(record, sort_keys=True)
+
+
+def aggregate_digest(records: Iterable[Dict[str, object]]) -> str:
+    """Digest over the canonical lines of all records, sorted by point.
+
+    Execution order (parallelism, retries, resume) must not matter, so
+    the digest sorts by the point digest before hashing.
+    """
+    lines = sorted(
+        (str(record.get("digest", "")), record_line(record))
+        for record in records
+    )
+    return digest_of(line for _, line in lines)
+
+
+class ResultStore:
+    """The ``results.jsonl`` checkpoint file of one campaign directory."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """All completed records, keyed by digest (first record wins).
+
+        Tolerates exactly one torn line at the end of the file — the
+        signature of a crash mid-append.  Corruption anywhere else is an
+        error: that is not a crash artefact, and silently dropping good
+        results would break resume identity.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        records: Dict[str, Dict[str, object]] = {}
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                if lineno == len(lines):
+                    break  # torn final line from a crash mid-write
+                raise ValueError(
+                    f"{self.path}:{lineno}: corrupt record: {exc}"
+                ) from exc
+            digest = record.get("digest")
+            if not isinstance(digest, str) or not digest:
+                raise ValueError(
+                    f"{self.path}:{lineno}: record has no digest"
+                )
+            records.setdefault(digest, record)
+        return records
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(record_line(record))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+class FailureLog:
+    """The ``failures.jsonl`` attempt/quarantine log (append-only)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(
+        self,
+        digest: str,
+        seed: int,
+        cell: Iterable[Iterable[object]],
+        attempt: int,
+        error: str,
+        quarantined: bool,
+    ) -> None:
+        entry = {
+            "digest": digest,
+            "seed": seed,
+            "cell": [list(pair) for pair in cell],
+            "attempt": attempt,
+            "error": error,
+            "quarantined": quarantined,
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> List[Dict[str, object]]:
+        if not os.path.exists(self.path):
+            return []
+        entries: List[Dict[str, object]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError:
+                if lineno == len(lines):
+                    break  # torn final line; attempts are best-effort data
+                raise
+        return entries
+
+    def quarantined(
+        self, completed: Optional[Dict[str, object]] = None
+    ) -> List[Dict[str, object]]:
+        """Quarantine entries whose point never completed afterwards.
+
+        A later resume may have successfully rerun a quarantined point;
+        passing the completed-records map filters those out.
+        """
+        done = set(completed or ())
+        out: List[Dict[str, object]] = []
+        seen = set()
+        for entry in self.load():
+            digest = entry.get("digest")
+            if not entry.get("quarantined") or digest in done:
+                continue
+            if digest in seen:
+                continue
+            seen.add(digest)
+            out.append(entry)
+        return out

@@ -8,6 +8,8 @@ Commands:
 * ``experiment`` — run experiment(s) by id (E1..E10, A1..A6)
 * ``sweep``      — sweep one config field over values, print a row per run
 * ``obs``        — summarize/filter a JSONL run journal
+* ``campaign``   — fault-injection campaigns: ``run``/``resume``/``report``
+  over a checkpointed campaign directory (see :mod:`repro.campaign`)
 * ``list``       — show available experiments, scenarios, nodes, policies
 
 The CLI is a thin shell over the library: everything it does is a few
@@ -31,6 +33,25 @@ from repro.metrics.export import trace_to_csv, write_text
 from repro.metrics.report import format_table
 from repro.platform.technology import node_names
 from repro.workload.scenarios import SCENARIOS, scenario_config_kwargs
+
+def _jobs_arg(raw: str) -> int:
+    """argparse type for ``--jobs``: friendly rejection at parse time.
+
+    Without this, a negative value surfaces as a ValueError from deep
+    inside ``run_many`` mid-sweep.
+    """
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be an integer, got {raw!r}"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 or 1 means serial), got {value}"
+        )
+    return value
+
 
 _POLICY_CHOICES = {
     "mapper": ("contiguous", "scatter", "random", "mappro", "test-aware"),
@@ -81,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("ids", nargs="+", help="experiment ids, e.g. E2 E9 A4")
     exp_p.add_argument("--horizon-us", type=float, help="override the horizon")
     exp_p.add_argument(
-        "--jobs", type=int, default=None,
+        "--jobs", type=_jobs_arg, default=None,
         help="worker processes for the experiment's independent runs "
              "(results are identical to a serial run)",
     )
@@ -92,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--horizon-ms", type=float, default=30.0)
     sweep_p.add_argument("--seed", type=int, default=1)
     sweep_p.add_argument(
-        "--jobs", type=int, default=None,
+        "--jobs", type=_jobs_arg, default=None,
         help="worker processes for the sweep points "
              "(results are identical to a serial run)",
     )
@@ -112,6 +133,63 @@ def build_parser() -> argparse.ArgumentParser:
     obs_p.add_argument(
         "--decisions", action="store_true",
         help="print every test launch/defer decision with reason and headroom",
+    )
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="fault-injection campaigns (run/resume/report)",
+    )
+    camp_sub = camp_p.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_exec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=_jobs_arg, default=None,
+            help="worker processes (0/1 = serial; aggregates are "
+                 "identical either way)",
+        )
+        p.add_argument(
+            "--timeout-s", type=float, default=None,
+            help="per-run timeout in seconds (timed-out runs are "
+                 "retried, then quarantined)",
+        )
+        p.add_argument(
+            "--max-attempts", type=int, default=3,
+            help="attempts per point before quarantine (default 3)",
+        )
+        p.add_argument(
+            "--backoff-s", type=float, default=0.5,
+            help="base retry backoff in seconds (default 0.5, doubles "
+                 "per failure, capped)",
+        )
+        p.add_argument(
+            "--interrupt-after", type=int, default=None, metavar="N",
+            help="testing/ops hook: simulate a crash after N "
+                 "checkpointed results (exit code 3; resume continues)",
+        )
+
+    camp_run = camp_sub.add_parser(
+        "run", help="start a campaign from a spec JSON"
+    )
+    camp_run.add_argument("spec", help="campaign spec JSON file")
+    camp_run.add_argument(
+        "--dir", required=True, dest="campaign_dir",
+        help="campaign directory (checkpoint store lives here)",
+    )
+    _campaign_exec_args(camp_run)
+
+    camp_res = camp_sub.add_parser(
+        "resume", help="resume an interrupted campaign directory"
+    )
+    camp_res.add_argument(
+        "campaign_dir", help="campaign directory with spec.json"
+    )
+    _campaign_exec_args(camp_res)
+
+    camp_rep = camp_sub.add_parser(
+        "report", help="rebuild the report/manifest of a campaign"
+    )
+    camp_rep.add_argument(
+        "campaign_dir", help="campaign directory with spec.json"
     )
 
     sub.add_parser("list", help="show experiments, scenarios, nodes, policies")
@@ -305,6 +383,58 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignInterrupted,
+        CampaignSpec,
+        RetryPolicy,
+        report_campaign,
+        run_campaign,
+    )
+    from repro.campaign.store import MANIFEST_FILE
+
+    if args.campaign_command == "report":
+        try:
+            report = report_campaign(args.campaign_dir)
+        except (OSError, ValueError) as exc:
+            print(f"cannot report campaign: {exc}", file=sys.stderr)
+            return 2
+        print(report.render())
+        print(f"manifest written to "
+              f"{args.campaign_dir}/{MANIFEST_FILE}")
+        return 0
+
+    kwargs = dict(
+        jobs=args.jobs,
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts, backoff_s=args.backoff_s
+        ),
+        timeout_s=args.timeout_s,
+        interrupt_after=args.interrupt_after,
+    )
+    try:
+        if args.campaign_command == "run":
+            spec = CampaignSpec.load(args.spec)
+            report = run_campaign(args.campaign_dir, spec=spec, **kwargs)
+        else:  # resume
+            report = run_campaign(args.campaign_dir, resume=True, **kwargs)
+    except CampaignInterrupted as exc:
+        print(str(exc), file=sys.stderr)
+        return 3
+    except (OSError, ValueError) as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    print(f"manifest written to {args.campaign_dir}/{MANIFEST_FILE}")
+    if report.quarantined:
+        print(
+            f"warning: {len(report.quarantined)} point(s) quarantined "
+            f"(see failures.jsonl); a later resume retries them",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:", ", ".join(sorted(EXPERIMENTS)))
     print("scenarios:  ", ", ".join(sorted(SCENARIOS)))
@@ -319,6 +449,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "sweep": cmd_sweep,
     "obs": cmd_obs,
+    "campaign": cmd_campaign,
     "list": cmd_list,
 }
 

@@ -13,7 +13,7 @@ from repro.experiments.ablations import (
     run_a8_noc_fidelity,
     run_e10_lifetime,
 )
-from repro.experiments.parallel import run_many
+from repro.experiments.parallel import RunFailed, run_many
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runners import (
     DEFAULT_CONFIG,
@@ -37,6 +37,7 @@ __all__ = [
     "DEFAULT_CONFIG",
     "EXPERIMENTS",
     "ExperimentResult",
+    "RunFailed",
     "run_a1_criticality_weights",
     "run_a2_guard_band",
     "run_a3_test_concurrency",

@@ -12,19 +12,53 @@ byte-identical :class:`~repro.core.system.SimulationResult` data.
 falls back to the plain serial loop (no pool, no pickling), so callers
 can thread a ``--jobs`` flag straight through without special-casing.
 Results always come back in input order regardless of completion order.
+
+A failing run raises :class:`RunFailed` carrying the index and config
+digest of the offender, in both the serial and the pooled path — a bare
+exception out of a pool gives no clue *which* of 64 configs died.
+``run_many`` remains all-or-nothing (a sweep with holes is not a
+sweep); batch workloads that must survive failures and keep partial
+results belong to ``repro.campaign``.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.system import SimulationResult, SystemConfig, run_system
+from repro.obs.provenance import config_digest
 
 
-def _run_one(config: SystemConfig) -> SimulationResult:
-    """Module-level worker so it is picklable by the process pool."""
-    return run_system(config)
+class RunFailed(RuntimeError):
+    """One run of a sweep failed; identifies exactly which one."""
+
+    def __init__(self, index: int, digest: str, error: str) -> None:
+        super().__init__(
+            f"run {index} (config digest {digest[:12]}) failed: {error}"
+        )
+        self.index = index
+        self.digest = digest
+        self.error = error
+
+
+def _run_one(payload: Tuple[int, SystemConfig]):
+    """Module-level worker so it is picklable by the process pool.
+
+    Never raises: an exception would poison ``pool.map`` mid-iteration
+    and surface with no attribution.  Failures come back as tagged
+    tuples and are re-raised, attributed, by the parent.
+    """
+    index, config = payload
+    try:
+        return ("ok", index, run_system(config))
+    except Exception as exc:
+        return (
+            "err",
+            index,
+            config_digest(config),
+            f"{type(exc).__name__}: {exc}",
+        )
 
 
 def run_many(
@@ -36,12 +70,29 @@ def run_many(
     returned in the order of ``configs`` and are identical to a serial
     run: each simulation is deterministic given its config, and
     ``ProcessPoolExecutor.map`` preserves input order.
+
+    Raises :class:`RunFailed` (with the failing config's index and
+    digest) if any run fails.
     """
     config_list = list(configs)
     if jobs is not None and jobs < 0:
         raise ValueError(f"jobs must be non-negative, got {jobs}")
     if not jobs or jobs == 1 or len(config_list) <= 1:
-        return [run_system(config) for config in config_list]
+        results = []
+        for index, config in enumerate(config_list):
+            try:
+                results.append(run_system(config))
+            except Exception as exc:
+                raise RunFailed(
+                    index,
+                    config_digest(config),
+                    f"{type(exc).__name__}: {exc}",
+                ) from exc
+        return results
     workers = min(jobs, len(config_list))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_one, config_list))
+        outcomes = list(pool.map(_run_one, enumerate(config_list)))
+    for outcome in outcomes:
+        if outcome[0] == "err":
+            raise RunFailed(outcome[1], outcome[2], outcome[3])
+    return [outcome[2] for outcome in outcomes]

@@ -34,6 +34,7 @@ from repro.obs.journal import (
 from repro.obs.profiler import NULL_PROFILER, PhaseProfiler, profiled
 from repro.obs.provenance import (
     RunManifest,
+    config_digest,
     digest_of,
     experiment_provenance,
     rows_digest,
@@ -52,6 +53,7 @@ __all__ = [
     "active_journal",
     "active_profiler",
     "audit",
+    "config_digest",
     "configure",
     "digest_of",
     "events_of",

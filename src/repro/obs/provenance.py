@@ -15,6 +15,7 @@ machinery, so it cannot import ``repro`` (version) or ``repro.core``
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
@@ -36,6 +37,17 @@ def digest_of(parts: Iterable[object]) -> str:
 def rows_digest(rows: Iterable[object]) -> str:
     """Digest over an iterable of result rows (dicts, tuples, ...)."""
     return digest_of(rows)
+
+
+def config_digest(config: object) -> str:
+    """Stable identity of a config dataclass (any one, by duck typing).
+
+    Digest over the sorted ``dataclasses.asdict`` items, so two configs
+    are identical iff every field (nested parameter blocks included)
+    compares equal by ``repr``.  This is the point identity used by the
+    campaign checkpoint store and by sweep failure attribution.
+    """
+    return digest_of(sorted(dataclasses.asdict(config).items()))
 
 
 @dataclass

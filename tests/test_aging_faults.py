@@ -239,3 +239,58 @@ def test_fault_parameters_validation():
         FaultParameters(stress_scale=0.0)
     with pytest.raises(ValueError):
         FaultParameters(max_manifest_fraction=0.0)
+
+
+# ----------------------------------------------------------------------
+# Property tests (hypothesis)
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_stress = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_hazard = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+_time = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=_stress, b=_stress, base=_hazard)
+def test_hazard_monotone_in_age_stress(a, b, base):
+    # More accumulated aging stress never lowers the fault hazard.
+    lo, hi = sorted((a, b))
+    chip = Chip.build(2, 2)
+    injector = FaultInjector(
+        chip,
+        FaultParameters(base_hazard_per_us=base),
+        random.Random(0),
+    )
+    core_lo, core_hi = chip.core(0), chip.core(1)
+    core_lo.age_stress = lo
+    core_hi.age_stress = hi
+    assert injector.hazard(core_hi) >= injector.hazard(core_lo)
+    # Fresh core pins the intercept: hazard == base hazard exactly.
+    assert injector.hazard(chip.core(2)) == pytest.approx(base)
+
+
+@settings(max_examples=50, deadline=None)
+@given(injected_at=_time, delay=_time, level=st.integers(0, 7))
+def test_detection_latency_none_until_detected(injected_at, delay, level):
+    from repro.aging.faults import FaultRecord
+
+    record = FaultRecord(
+        core_id=0, injected_at=injected_at, manifest_level=level
+    )
+    # Latent fault: no latency, whatever the clock says.
+    assert record.detection_latency() is None
+    assert not record.detected
+    record.detected_at = injected_at + delay
+    assert record.detected
+    latency = record.detection_latency()
+    assert latency is not None
+    assert latency >= 0.0
+    assert latency == pytest.approx(delay, abs=1e-6)

@@ -1,0 +1,581 @@
+"""Tests for the fault-injection campaign subsystem.
+
+The two contract-level properties pinned here:
+
+* **resume identity** — kill a campaign partway, resume it, and the
+  aggregate digest is byte-identical to an uninterrupted run (fixed and
+  sequential mode);
+* **crash tolerance** — a worker exception, a dead worker process or a
+  timed-out run loses no completed results: the campaign completes with
+  the bad point quarantined and attributed to its config digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignInterrupted,
+    CampaignSpec,
+    FailureLog,
+    ResultStore,
+    RetryPolicy,
+    RobustExecutor,
+    aggregate_digest,
+    build_report,
+    default_worker,
+    plan_missing,
+    run_campaign,
+)
+from repro.campaign.spec import cell_label
+from repro.cli import main
+from repro.core.system import SystemConfig
+from repro.experiments.parallel import RunFailed, run_many
+from repro.obs.provenance import config_digest
+
+#: Fast 4x4 base with fault injection on: one run is ~0.1-0.2 s.
+BASE = {
+    "width": 4,
+    "height": 4,
+    "horizon_us": 3000.0,
+    "arrival_rate_per_ms": 8.0,
+    "fault_hazard_per_us": 2e-4,
+}
+
+NO_BACKOFF = RetryPolicy(max_attempts=2, backoff_s=0.0)
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    data = {
+        "name": "test",
+        "base": BASE,
+        "grid": {"test_policy": ["power-aware", "none"]},
+        "seeds": {"start": 1, "count": 2},
+    }
+    data.update(overrides)
+    return CampaignSpec.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+def test_spec_cross_product_and_point_digests():
+    spec = small_spec()
+    points = spec.fixed_points()
+    assert len(points) == 4  # 2 policies x 2 seeds
+    assert len({p.digest for p in points}) == 4
+    # Digests are a pure function of the config: re-enumeration agrees.
+    again = spec.fixed_points()
+    assert [p.digest for p in points] == [p.digest for p in again]
+    assert points[0].digest == config_digest(points[0].config)
+
+
+def test_spec_config_resolution_applies_base_cell_seed():
+    spec = small_spec()
+    point = spec.fixed_points()[-1]
+    assert point.config.width == 4
+    assert point.config.test_policy == "none"
+    assert point.config.seed == 2
+    assert point.config.fault_hazard_per_us == pytest.approx(2e-4)
+
+
+def test_spec_nested_base_override():
+    spec = small_spec(base=dict(BASE, aging={"base_rate": 0.125}))
+    config = spec.fixed_points()[0].config
+    assert config.aging.base_rate == pytest.approx(0.125)
+
+
+def test_spec_json_round_trip_preserves_digest(tmp_path):
+    spec = small_spec(
+        stop={"target_half_width": 0.1, "min_runs": 2, "max_runs": 8,
+              "batch": 2},
+    )
+    path = tmp_path / "spec.json"
+    spec.save(str(path))
+    loaded = CampaignSpec.load(str(path))
+    # JSON serialisation sorts keys, so tuple order may differ; the
+    # canonical form and the digest are the identity contract.
+    assert loaded.to_dict() == spec.to_dict()
+    assert loaded.spec_digest() == spec.spec_digest()
+    assert [p.digest for p in loaded.fixed_points()] == [
+        p.digest for p in spec.fixed_points()
+    ]
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"name": ""},
+        {"base": {"not_a_field": 1}},
+        {"grid": {"tdp_w": []}},
+        {"grid": {"seed": [1, 2]}},
+        {"seeds": {"start": 1, "count": 0}},
+        {"stop": {"target_half_width": 0.0}},
+        {"stop": {"target_half_width": 0.1, "min_runs": 4, "max_runs": 2}},
+        {"stop": {"target_half_width": 0.1, "method": "bogus"}},
+        {"bogus_key": 1},
+    ],
+)
+def test_spec_validation_rejects(mutation):
+    data = {
+        "name": "test",
+        "base": BASE,
+        "grid": {"test_policy": ["none"]},
+        "seeds": {"start": 1, "count": 2},
+    }
+    data.update(mutation)
+    with pytest.raises((ValueError, TypeError)):
+        CampaignSpec.from_dict(data)
+
+
+def test_cell_label():
+    assert cell_label(()) == "default"
+    assert cell_label((("tdp_w", 40.0),)) == "tdp_w=40.0"
+
+
+def test_stop_rule_evaluation_ladder():
+    spec = small_spec(
+        stop={"target_half_width": 0.1, "min_runs": 3, "max_runs": 10,
+              "batch": 4},
+    )
+    assert spec.stop.evaluation_sizes() == [3, 7, 10]
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def _fake_record(digest: str, seed: int = 1) -> dict:
+    return {
+        "schema": 1,
+        "digest": digest,
+        "cell": [],
+        "seed": seed,
+        "faults": [],
+        "per_level_tests": {},
+        "n_levels": 8,
+        "summary": {"x": 1.0},
+    }
+
+
+def test_store_append_load_round_trip(tmp_path):
+    store = ResultStore(str(tmp_path / "results.jsonl"))
+    assert store.load() == {}
+    store.append(_fake_record("a"))
+    store.append(_fake_record("b"))
+    records = store.load()
+    assert set(records) == {"a", "b"}
+    assert records["a"]["seed"] == 1
+
+
+def test_store_tolerates_torn_final_line(tmp_path):
+    path = tmp_path / "results.jsonl"
+    store = ResultStore(str(path))
+    store.append(_fake_record("a"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"digest": "b", "truncated')  # crash mid-write
+    assert set(store.load()) == {"a"}
+
+
+def test_store_rejects_mid_file_corruption(tmp_path):
+    path = tmp_path / "results.jsonl"
+    store = ResultStore(str(path))
+    store.append(_fake_record("a"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("garbage\n")
+    store.append(_fake_record("b"))
+    with pytest.raises(ValueError, match="corrupt record"):
+        store.load()
+
+
+def test_aggregate_digest_order_independent():
+    a, b = _fake_record("a"), _fake_record("b", seed=2)
+    assert aggregate_digest([a, b]) == aggregate_digest([b, a])
+    assert aggregate_digest([a, b]) != aggregate_digest([a])
+
+
+def test_failure_log_quarantine_filtering(tmp_path):
+    log = FailureLog(str(tmp_path / "failures.jsonl"))
+    log.append("a", 1, [], 1, "boom", False)
+    log.append("a", 1, [], 2, "boom", True)
+    log.append("b", 2, [], 1, "boom", True)
+    assert {e["digest"] for e in log.quarantined()} == {"a", "b"}
+    # a later resume completed point "a": no longer quarantined
+    assert {e["digest"] for e in log.quarantined({"a": {}})} == {"b"}
+
+
+# ----------------------------------------------------------------------
+# Executor: retry, quarantine, crash tolerance
+# ----------------------------------------------------------------------
+def test_serial_retry_then_success():
+    spec = small_spec(grid={}, seeds={"start": 1, "count": 3})
+    points = spec.fixed_points()
+    attempts: dict = {}
+
+    def flaky_worker(payload):
+        point, timeout_s = payload
+        n = attempts.setdefault(point.digest, 0)
+        attempts[point.digest] = n + 1
+        if point.seed == 2 and n < 2:
+            return ("err", point.digest, "RuntimeError: injected")
+        return default_worker(payload)
+
+    records = {}
+    executor = RobustExecutor(
+        jobs=1, retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+        worker=flaky_worker,
+    )
+    stats = executor.run(
+        points, on_record=lambda p, r: records.__setitem__(p.digest, r)
+    )
+    assert stats.completed == 3
+    assert stats.retried == 2
+    assert not stats.quarantined
+    assert len(records) == 3
+
+
+def test_serial_quarantine_keeps_completed_results():
+    spec = small_spec(grid={}, seeds={"start": 1, "count": 3})
+    points = spec.fixed_points()
+    bad = points[1]
+
+    def broken_worker(payload):
+        point, timeout_s = payload
+        if point.digest == bad.digest:
+            return ("err", point.digest, "RuntimeError: always broken")
+        return default_worker(payload)
+
+    records = {}
+    failures = []
+    executor = RobustExecutor(jobs=1, retry=NO_BACKOFF, worker=broken_worker)
+    stats = executor.run(
+        points,
+        on_record=lambda p, r: records.__setitem__(p.digest, r),
+        on_failure=lambda p, attempt, err, q: failures.append(
+            (p.digest, attempt, err, q)
+        ),
+    )
+    # Both healthy points completed; the bad one is quarantined and
+    # attributed to its digest, with the full attempt history logged.
+    assert stats.completed == 2
+    assert len(stats.quarantined) == 1
+    assert stats.quarantined[0].digest == bad.digest
+    assert stats.quarantined[0].attempts == NO_BACKOFF.max_attempts
+    assert bad.digest not in records and len(records) == 2
+    assert [f[0] for f in failures] == [bad.digest] * 2
+    assert failures[-1][3] is True  # final attempt marked quarantined
+
+
+def test_retry_policy_backoff_bounded():
+    policy = RetryPolicy(
+        max_attempts=5, backoff_s=0.5, backoff_factor=2.0, max_backoff_s=1.5
+    )
+    assert policy.delay_s(1) == pytest.approx(0.5)
+    assert policy.delay_s(2) == pytest.approx(1.0)
+    assert policy.delay_s(3) == pytest.approx(1.5)  # capped
+    assert policy.delay_s(10) == pytest.approx(1.5)
+    assert RetryPolicy(backoff_s=0.0).delay_s(3) == 0.0
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_s=-1.0)
+
+
+# Module-level workers for the pooled tests (must be picklable).
+def _fail_seed2_worker(payload):
+    point, timeout_s = payload
+    if point.seed == 2:
+        return ("err", point.digest, "RuntimeError: injected pool failure")
+    return default_worker(payload)
+
+
+def _exit_seed2_worker(payload):
+    point, timeout_s = payload
+    if point.seed == 2:
+        os._exit(17)  # hard worker death -> BrokenProcessPool
+    return default_worker(payload)
+
+
+def test_pool_worker_exception_is_quarantined_and_attributed():
+    spec = small_spec(grid={}, seeds={"start": 1, "count": 3})
+    points = spec.fixed_points()
+    bad_digest = next(p.digest for p in points if p.seed == 2)
+    records = {}
+    executor = RobustExecutor(
+        jobs=2, retry=NO_BACKOFF, worker=_fail_seed2_worker
+    )
+    stats = executor.run(
+        points, on_record=lambda p, r: records.__setitem__(p.digest, r)
+    )
+    assert stats.completed == 2
+    assert len(records) == 2
+    assert [q.digest for q in stats.quarantined] == [bad_digest]
+    assert "injected pool failure" in stats.quarantined[0].errors[-1]
+
+
+def test_pool_survives_hard_worker_death():
+    spec = small_spec(grid={}, seeds={"start": 1, "count": 3})
+    points = spec.fixed_points()
+    bad_digest = next(p.digest for p in points if p.seed == 2)
+    records = {}
+    executor = RobustExecutor(
+        jobs=2,
+        retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+        worker=_exit_seed2_worker,
+    )
+    stats = executor.run(
+        points, on_record=lambda p, r: records.__setitem__(p.digest, r)
+    )
+    # The dying point quarantines; every healthy point completes even
+    # though the pool it was sharing broke underneath it.
+    assert len(records) == 2
+    assert bad_digest not in records
+    assert any(q.digest == bad_digest for q in stats.quarantined)
+
+
+@pytest.mark.skipif(
+    not hasattr(__import__("signal"), "SIGALRM"),
+    reason="per-run timeout needs SIGALRM",
+)
+def test_pool_timeout_quarantines_slow_run():
+    # epoch_us=0.005 makes the control loop ~6 orders of magnitude
+    # denser: the run cannot finish within the timeout.
+    spec = small_spec(
+        grid={"epoch_us": [100.0, 0.005]}, seeds={"start": 1, "count": 1}
+    )
+    points = spec.fixed_points()
+    slow_digest = next(
+        p.digest for p in points if p.config.epoch_us == 0.005
+    )
+    records = {}
+    executor = RobustExecutor(
+        jobs=2, retry=RetryPolicy(max_attempts=1, backoff_s=0.0),
+        timeout_s=0.4,
+    )
+    t0 = time.monotonic()
+    stats = executor.run(
+        points, on_record=lambda p, r: records.__setitem__(p.digest, r)
+    )
+    assert time.monotonic() - t0 < 30.0
+    assert len(records) == 1
+    assert [q.digest for q in stats.quarantined] == [slow_digest]
+    assert "Timeout" in stats.quarantined[0].errors[-1]
+
+
+# ----------------------------------------------------------------------
+# Resume identity (the headline contract)
+# ----------------------------------------------------------------------
+def test_fixed_campaign_resume_identity(tmp_path):
+    spec = small_spec()
+    interrupted_dir = str(tmp_path / "interrupted")
+    straight_dir = str(tmp_path / "straight")
+    with pytest.raises(CampaignInterrupted):
+        run_campaign(
+            interrupted_dir, spec=spec, jobs=2, retry=NO_BACKOFF,
+            interrupt_after=2,
+        )
+    # The kill lost nothing that was checkpointed...
+    partial = ResultStore(
+        os.path.join(interrupted_dir, "results.jsonl")
+    ).load()
+    assert len(partial) == 2
+    # ...and resuming completes the campaign with a byte-identical
+    # aggregate to the uninterrupted control run.
+    resumed = run_campaign(
+        interrupted_dir, resume=True, jobs=2, retry=NO_BACKOFF
+    )
+    straight = run_campaign(
+        straight_dir, spec=spec, jobs=1, retry=NO_BACKOFF
+    )
+    assert resumed.aggregate == straight.aggregate
+    assert resumed.n_completed == straight.n_completed == 4
+    assert json.load(
+        open(os.path.join(interrupted_dir, "manifest.json"))
+    )["aggregate_digest"] == resumed.aggregate
+
+
+def test_sequential_campaign_resume_identity(tmp_path):
+    spec = small_spec(
+        grid={},
+        base=dict(BASE, fault_hazard_per_us=3e-4),
+        seeds={"start": 1, "count": 1},
+        stop={"target_half_width": 0.02, "min_runs": 2, "max_runs": 4,
+              "batch": 2},
+    )
+    interrupted_dir = str(tmp_path / "interrupted")
+    straight_dir = str(tmp_path / "straight")
+    with pytest.raises(CampaignInterrupted):
+        run_campaign(
+            interrupted_dir, spec=spec, jobs=2, retry=NO_BACKOFF,
+            interrupt_after=1,
+        )
+    resumed = run_campaign(
+        interrupted_dir, resume=True, jobs=2, retry=NO_BACKOFF
+    )
+    straight = run_campaign(
+        straight_dir, spec=spec, jobs=1, retry=NO_BACKOFF
+    )
+    assert resumed.aggregate == straight.aggregate
+    assert resumed.n_completed == straight.n_completed
+
+
+def test_sequential_stopping_rule_bounds_runs(tmp_path):
+    base = dict(BASE, fault_hazard_per_us=3e-4)
+    loose = small_spec(
+        name="loose", grid={}, base=base, seeds={"start": 1, "count": 1},
+        stop={"target_half_width": 0.45, "min_runs": 2, "max_runs": 6,
+              "batch": 2},
+    )
+    tight = small_spec(
+        name="tight", grid={}, base=base, seeds={"start": 1, "count": 1},
+        stop={"target_half_width": 0.005, "min_runs": 2, "max_runs": 4,
+              "batch": 2},
+    )
+    r_loose = run_campaign(
+        str(tmp_path / "loose"), spec=loose, retry=NO_BACKOFF
+    )
+    r_tight = run_campaign(
+        str(tmp_path / "tight"), spec=tight, retry=NO_BACKOFF
+    )
+    assert r_loose.n_completed == 2      # satisfied at min_runs
+    assert r_tight.n_completed == 4      # ran to max_runs
+
+
+def test_run_rejects_dir_with_results_or_other_spec(tmp_path):
+    spec = small_spec(seeds={"start": 1, "count": 1}, grid={})
+    cdir = str(tmp_path / "c")
+    run_campaign(cdir, spec=spec, retry=NO_BACKOFF)
+    with pytest.raises(ValueError, match="use resume"):
+        run_campaign(cdir, spec=spec, retry=NO_BACKOFF)
+    other = small_spec(name="other", seeds={"start": 1, "count": 1}, grid={})
+    with pytest.raises(ValueError, match="different spec"):
+        run_campaign(cdir, spec=other, retry=NO_BACKOFF)
+
+
+def test_campaign_completes_around_quarantined_point(tmp_path):
+    spec = small_spec(grid={}, seeds={"start": 1, "count": 3})
+    report = run_campaign(
+        str(tmp_path / "c"), spec=spec, jobs=2, retry=NO_BACKOFF,
+        worker=_fail_seed2_worker,
+    )
+    assert report.n_completed == 2
+    assert len(report.quarantined) == 1
+    assert report.quarantined[0]["seed"] == 2
+    # failures.jsonl attributes every attempt
+    entries = FailureLog(
+        str(tmp_path / "c" / "failures.jsonl")
+    ).load()
+    assert len(entries) == NO_BACKOFF.max_attempts
+    assert all("injected pool failure" in e["error"] for e in entries)
+
+
+def test_plan_missing_is_pure_and_shrinks(tmp_path):
+    spec = small_spec()
+    assert len(plan_missing(spec, {})) == 4
+    cdir = str(tmp_path / "c")
+    with pytest.raises(CampaignInterrupted):
+        run_campaign(
+            cdir, spec=spec, retry=NO_BACKOFF, interrupt_after=3
+        )
+    records = ResultStore(os.path.join(cdir, "results.jsonl")).load()
+    missing = plan_missing(spec, records)
+    assert len(missing) == 1
+    assert all(p.digest not in records for p in missing)
+
+
+def test_report_rows_full_grid_even_when_partial(tmp_path):
+    spec = small_spec()
+    report = build_report(spec, {})
+    # 2 cells + ALL row, all zero-run
+    assert len(report.rows) == 3
+    assert all(row[1] == 0 for row in report.rows)
+    assert report.n_completed == 0
+
+
+# ----------------------------------------------------------------------
+# run_many failure attribution (satellite)
+# ----------------------------------------------------------------------
+def _bogus_config() -> SystemConfig:
+    # Passes __post_init__ but explodes inside run_system's wiring.
+    return dataclasses.replace(
+        SystemConfig(horizon_us=2000.0), noc_mode="bogus"
+    )
+
+
+def test_run_many_serial_failure_attributed():
+    good = SystemConfig(horizon_us=2000.0, width=4, height=4)
+    bad = _bogus_config()
+    with pytest.raises(RunFailed) as excinfo:
+        run_many([good, bad])
+    assert excinfo.value.index == 1
+    assert excinfo.value.digest == config_digest(bad)
+    assert "noc_mode" in excinfo.value.error
+
+
+def test_run_many_parallel_failure_attributed():
+    good = SystemConfig(horizon_us=2000.0, width=4, height=4)
+    bad = _bogus_config()
+    with pytest.raises(RunFailed) as excinfo:
+        run_many([bad, good, good], jobs=2)
+    assert excinfo.value.index == 0
+    assert excinfo.value.digest == config_digest(bad)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_campaign_run_resume_report(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(
+        json.dumps(
+            {
+                "name": "cli",
+                "base": BASE,
+                "grid": {"test_policy": ["power-aware"]},
+                "seeds": {"start": 1, "count": 2},
+            }
+        )
+    )
+    cdir = str(tmp_path / "camp")
+    rc = main(
+        ["campaign", "run", str(spec_path), "--dir", cdir,
+         "--backoff-s", "0", "--interrupt-after", "1"]
+    )
+    assert rc == 3  # simulated crash
+    rc = main(["campaign", "resume", cdir, "--backoff-s", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "campaign cli" in out
+    assert "aggregate digest" in out
+    rc = main(["campaign", "report", cdir])
+    assert rc == 0
+    assert os.path.exists(os.path.join(cdir, "manifest.json"))
+
+
+def test_cli_campaign_report_missing_dir(tmp_path, capsys):
+    rc = main(["campaign", "report", str(tmp_path / "nope")])
+    assert rc == 2
+    assert "cannot report" in capsys.readouterr().err
+
+
+def test_cli_jobs_rejects_negative_at_parse_time(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "tdp_w", "40,60", "--jobs", "-2"])
+    assert excinfo.value.code == 2
+    assert "jobs must be >= 0" in capsys.readouterr().err
+
+
+def test_cli_jobs_rejects_non_integer(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["experiment", "E2", "--jobs", "two"])
+    assert excinfo.value.code == 2
+    assert "jobs must be an integer" in capsys.readouterr().err

@@ -14,6 +14,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.aging",
+    "repro.campaign",
     "repro.core",
     "repro.experiments",
     "repro.mapping",
