@@ -122,17 +122,37 @@ def _run_point(point: CampaignPoint, timeout_s: Optional[float]):
         signal.signal(signal.SIGALRM, old)
 
 
-def default_worker(payload: Tuple[CampaignPoint, Optional[float]]):
+def default_worker(payload):
     """Module-level worker (picklable): never raises, always attributes.
 
-    Returns ``("ok", digest, record)`` or ``("err", digest, error)`` so
+    ``payload`` is ``(point, timeout_s)`` or, when result caching is on,
+    ``(point, timeout_s, cache_plan)``.  Returns ``("ok", digest,
+    record)`` — with a trailing cache-entry dict when a plan was given
+    and the blob deposit succeeded — or ``("err", digest, error)``, so
     a failure inside a pooled run can be tied back to its point without
     poisoning the pool's result stream.
+
+    With a :class:`repro.cache.CachePlan` the worker deposits the
+    pickled result as a content-addressed blob (atomic, collision-free
+    across workers) and hands the pending index entry back for the
+    supervisor to adopt — workers never write the cache index.  A
+    failed deposit degrades to an uncached success: memoization must
+    never fail a run that computed fine.
     """
-    point, timeout_s = payload
+    point, timeout_s = payload[0], payload[1]
+    cache_plan = payload[2] if len(payload) > 2 else None
     try:
         result = _run_point(point, timeout_s)
-        return ("ok", point.digest, record_from_result(point, result))
+        record = record_from_result(point, result)
+        if cache_plan is not None:
+            from repro.cache import store_result_blob
+
+            try:
+                entry = store_result_blob(cache_plan, point.config, result)
+            except Exception:
+                entry = None
+            return ("ok", point.digest, record, entry)
+        return ("ok", point.digest, record)
     except _PointTimeout:
         return (
             "err",
@@ -146,6 +166,7 @@ def default_worker(payload: Tuple[CampaignPoint, Optional[float]]):
 #: callback signatures
 OnRecord = Callable[[CampaignPoint, Dict[str, object]], None]
 OnFailure = Callable[[CampaignPoint, int, str, bool], None]
+OnCacheEntry = Callable[[CampaignPoint, Dict[str, object]], None]
 
 
 @dataclass
@@ -165,6 +186,7 @@ class RobustExecutor:
         retry: Optional[RetryPolicy] = None,
         timeout_s: Optional[float] = None,
         worker: Callable = default_worker,
+        cache_plan=None,
     ) -> None:
         if jobs is not None and jobs < 0:
             raise ValueError(f"jobs must be non-negative, got {jobs}")
@@ -172,6 +194,17 @@ class RobustExecutor:
         self.retry = retry or RetryPolicy()
         self.timeout_s = timeout_s
         self.worker = worker
+        #: Optional :class:`repro.cache.CachePlan`.  When set, workers
+        #: receive it as a third payload element and deposit result
+        #: blobs; custom workers that unpack two elements should only be
+        #: combined with ``cache_plan=None`` (the default).
+        self.cache_plan = cache_plan
+        self._on_cache_entry: Optional[OnCacheEntry] = None
+
+    def _payload(self, point: CampaignPoint):
+        if self.cache_plan is None:
+            return (point, self.timeout_s)
+        return (point, self.timeout_s, self.cache_plan)
 
     # ------------------------------------------------------------------
     def run(
@@ -180,6 +213,7 @@ class RobustExecutor:
         on_record: OnRecord,
         on_failure: Optional[OnFailure] = None,
         interrupt_after: Optional[int] = None,
+        on_cache_entry: Optional[OnCacheEntry] = None,
     ) -> ExecutionStats:
         """Run every point; deliver records/failures through callbacks.
 
@@ -188,10 +222,15 @@ class RobustExecutor:
         crash-simulation hook used by the resume-identity tests and the
         CI smoke job.  Results delivered before the interrupt are
         already checkpointed by the callback; nothing is lost.
+
+        ``on_cache_entry`` receives ``(point, entry_dict)`` for every
+        completed point whose worker deposited a cache blob (requires
+        ``cache_plan``); the supervisor-side callback owns the index.
         """
         stats = ExecutionStats()
         if not points:
             return stats
+        self._on_cache_entry = on_cache_entry
         if self.jobs <= 1 or len(points) == 1:
             self._run_serial(
                 points, stats, on_record, on_failure, interrupt_after
@@ -208,12 +247,24 @@ class RobustExecutor:
     def _complete(
         self,
         entry: _Pending,
-        record: Dict[str, object],
+        outcome: Tuple,
         stats: ExecutionStats,
         on_record: OnRecord,
         interrupt_after: Optional[int],
     ) -> None:
-        on_record(entry.point, record)
+        # Adopt the worker's cache deposit (if any) before checkpointing:
+        # an interrupt raised below must not orphan a blob that the next
+        # overlapping grid could have been served from.
+        if (
+            self._on_cache_entry is not None
+            and len(outcome) > 3
+            and outcome[3] is not None
+        ):
+            try:
+                self._on_cache_entry(entry.point, outcome[3])
+            except Exception:
+                pass  # memoization must never fail a completed run
+        on_record(entry.point, outcome[2])
         stats.completed += 1
         if interrupt_after is not None and stats.completed >= interrupt_after:
             raise CampaignInterrupted(stats.completed)
@@ -265,10 +316,10 @@ class RobustExecutor:
             delay = entry.eligible_at - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
-            outcome = self.worker((entry.point, self.timeout_s))
+            outcome = self.worker(self._payload(entry.point))
             if outcome[0] == "ok":
                 self._complete(
-                    entry, outcome[2], stats, on_record, interrupt_after
+                    entry, outcome, stats, on_record, interrupt_after
                 )
             elif self._fail(entry, outcome[2], stats, on_failure):
                 queue.append(entry)
@@ -306,7 +357,7 @@ class RobustExecutor:
                     ):
                         try:
                             future = pool.submit(
-                                self.worker, (entry.point, self.timeout_s)
+                                self.worker, self._payload(entry.point)
                             )
                         except BrokenProcessPool:
                             pool = self._rebuild_pool(pool, workers)
@@ -353,7 +404,7 @@ class RobustExecutor:
                     if outcome[0] == "ok":
                         self._complete(
                             entry,
-                            outcome[2],
+                            outcome,
                             stats,
                             on_record,
                             interrupt_after,

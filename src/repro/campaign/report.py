@@ -65,18 +65,22 @@ class CellSummary:
 
     @property
     def escapes(self) -> int:
+        """Injected faults that were never detected."""
         return self.injected - self.detected
 
     def interval(self, method: str = "wilson") -> BinomialEstimate:
+        """Confidence interval on the cell's detection probability."""
         return binomial_interval(self.detected, self.injected, method)
 
     @property
     def vf_coverage(self) -> float:
+        """Fraction of the chip's V/F levels exercised by tests."""
         if self.n_levels == 0:
             return 0.0
         return len(self.levels_tested) / self.n_levels
 
     def row(self, method: str = "wilson") -> List[object]:
+        """One formatted table row (see CampaignReport.headers)."""
         est = self.interval(method)
         latencies = sorted(self.latencies)
         mean = (
@@ -113,6 +117,7 @@ class CampaignReport:
     notes: List[str] = field(default_factory=list)
 
     def render(self, precision: int = 4) -> str:
+        """Human-readable report: table, notes, quarantine, digest."""
         parts = [
             format_table(
                 list(self.headers),
@@ -144,6 +149,7 @@ class CampaignReport:
         return "\n".join(parts)
 
     def row_dicts(self) -> List[Dict[str, object]]:
+        """Table rows as dicts keyed by the report's column headers."""
         return [dict(zip(self.headers, row)) for row in self.rows]
 
     def manifest(self, version: str) -> Dict[str, object]:
@@ -164,6 +170,7 @@ class CampaignReport:
         }
 
     def manifest_json(self, version: str) -> str:
+        """The manifest rendered as pretty-printed, key-sorted JSON."""
         return json.dumps(self.manifest(version), indent=2, sort_keys=True)
 
 

@@ -47,6 +47,7 @@ from repro.campaign.store import (
     SPEC_FILE,
     FailureLog,
     ResultStore,
+    record_from_result,
 )
 from repro.metrics.stats import halfwidth_met
 
@@ -56,6 +57,7 @@ def _spec_path(campaign_dir: str) -> str:
 
 
 def load_spec(campaign_dir: str) -> CampaignSpec:
+    """Read the spec of an existing campaign directory."""
     path = _spec_path(campaign_dir)
     if not os.path.exists(path):
         raise FileNotFoundError(
@@ -167,6 +169,30 @@ def plan_missing(
 # ----------------------------------------------------------------------
 # Run / resume / report
 # ----------------------------------------------------------------------
+def _serve_from_cache(
+    cache,
+    points: List[CampaignPoint],
+    store: ResultStore,
+) -> Tuple[int, List[CampaignPoint]]:
+    """Checkpoint every point the cache already holds; return the rest.
+
+    A cached :class:`SimulationResult` is a pickle round-trip of the
+    original, so the record built from it is byte-identical to the one
+    a fresh run would have produced — the aggregate digest cannot tell
+    warm cells from cold ones.
+    """
+    served = 0
+    still_missing: List[CampaignPoint] = []
+    for point in points:
+        result = cache.get_result(point.config)
+        if result is None:
+            still_missing.append(point)
+            continue
+        store.append(record_from_result(point, result))
+        served += 1
+    return served, still_missing
+
+
 def run_campaign(
     campaign_dir: str,
     spec: Optional[CampaignSpec] = None,
@@ -176,6 +202,7 @@ def run_campaign(
     interrupt_after: Optional[int] = None,
     worker=None,
     resume: bool = False,
+    cache=None,
 ) -> CampaignReport:
     """Execute a campaign to completion (or controlled interruption).
 
@@ -188,6 +215,16 @@ def run_campaign(
     ``interrupt_after`` (testing/ops hook) deterministically simulates a
     crash after N newly-checkpointed results by raising
     :class:`CampaignInterrupted`.
+
+    ``cache`` (a :class:`repro.cache.RunCache`) memoizes points across
+    campaigns: before each execution wave the planner's missing points
+    are probed and hits are checkpointed directly (served warm), and —
+    with the default worker — completed runs deposit result blobs that
+    the supervisor adopts into the cache index, so a later grid with
+    overlapping cells is served without re-simulating.  Cache-served
+    records do not count toward ``interrupt_after`` (they cost no work
+    worth crash-testing), and a custom ``worker`` disables deposits but
+    still benefits from warm serving.
     """
     if resume:
         spec = load_spec(campaign_dir)
@@ -198,8 +235,15 @@ def run_campaign(
     store = ResultStore(os.path.join(campaign_dir, RESULTS_FILE))
     failures = FailureLog(os.path.join(campaign_dir, FAILURES_FILE))
     executor_kwargs = {} if worker is None else {"worker": worker}
+    cache_plan = (
+        cache.plan() if cache is not None and worker is None else None
+    )
     executor = RobustExecutor(
-        jobs=jobs, retry=retry, timeout_s=timeout_s, **executor_kwargs
+        jobs=jobs,
+        retry=retry,
+        timeout_s=timeout_s,
+        cache_plan=cache_plan,
+        **executor_kwargs,
     )
 
     def on_record(point: CampaignPoint, record: Dict[str, object]) -> None:
@@ -212,6 +256,13 @@ def run_campaign(
             point.digest, point.seed, point.cell, attempt, error, quarantined
         )
 
+    def on_cache_entry(
+        point: CampaignPoint, entry: Dict[str, object]
+    ) -> None:
+        cache.adopt(
+            str(entry["key"]), str(entry["blob"]), int(entry["size"])
+        )
+
     records = store.load()
     quarantined_digests: Set[str] = set()
     completed_this_invocation = 0
@@ -221,6 +272,11 @@ def run_campaign(
         missing = plan_missing(spec, records, exclude=quarantined_digests)
         if not missing:
             break
+        if cache is not None:
+            served, missing = _serve_from_cache(cache, missing, store)
+            if served and not missing:
+                records = store.load()
+                continue
         remaining_interrupt = (
             None
             if interrupt_after is None
@@ -232,6 +288,9 @@ def run_campaign(
                 on_record=on_record,
                 on_failure=on_failure,
                 interrupt_after=remaining_interrupt,
+                on_cache_entry=(
+                    on_cache_entry if cache_plan is not None else None
+                ),
             )
         except CampaignInterrupted as exc:
             raise CampaignInterrupted(

@@ -71,12 +71,15 @@ class SeedPlan:
             raise ValueError(f"seed count must be >= 1, got {self.count}")
 
     def seed_at(self, i: int) -> int:
+        """The i-th seed of the plan (0-based)."""
         return self.start + i
 
     def fixed_seeds(self) -> List[int]:
+        """All ``count`` seeds of a fixed-mode campaign, in order."""
         return [self.start + i for i in range(self.count)]
 
     def to_dict(self) -> Dict[str, int]:
+        """JSON-ready form of the seed plan."""
         return {"start": self.start, "count": self.count}
 
 
@@ -128,6 +131,7 @@ class StopRule:
         return sizes
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form of the stopping rule."""
         return {
             "target_half_width": self.target_half_width,
             "min_runs": self.min_runs,
@@ -185,6 +189,7 @@ class CampaignSpec:
     # ------------------------------------------------------------------
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        """Build a spec from a plain dict (e.g. parsed spec.json)."""
         known = {"schema", "name", "base", "grid", "seeds", "stop"}
         unknown = set(data) - known
         if unknown:
@@ -208,6 +213,7 @@ class CampaignSpec:
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignSpec":
+        """Parse a spec from its JSON text."""
         data = json.loads(text)
         if not isinstance(data, dict):
             raise ValueError("campaign spec JSON must be an object")
@@ -215,10 +221,12 @@ class CampaignSpec:
 
     @classmethod
     def load(cls, path: str) -> "CampaignSpec":
+        """Read a spec from a JSON file."""
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_json(handle.read())
 
     def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form, the inverse of :meth:`from_dict`."""
         return {
             "schema": 1,
             "name": self.name,
@@ -229,14 +237,17 @@ class CampaignSpec:
         }
 
     def to_json(self) -> str:
+        """Serialize to the canonical JSON form (sorted keys)."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     def save(self, path: str) -> None:
+        """Write the spec as JSON to ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
             handle.write("\n")
 
     def spec_digest(self) -> str:
+        """Content digest pinning a campaign directory to its spec."""
         return digest_of([json.dumps(self.to_dict(), sort_keys=True)])
 
     # ------------------------------------------------------------------
@@ -244,6 +255,7 @@ class CampaignSpec:
     # ------------------------------------------------------------------
     @property
     def sequential(self) -> bool:
+        """Whether a stopping rule drives per-cell sample sizes."""
         return self.stop is not None
 
     def cells(self) -> List[Cell]:
@@ -268,6 +280,7 @@ class CampaignSpec:
         return config_from_dict(data)
 
     def point(self, cell: Cell, seed: int, index: int = -1) -> CampaignPoint:
+        """Materialize one (cell, seed) pair into a CampaignPoint."""
         config = self.config_for(cell, seed)
         return CampaignPoint(
             index=index,

@@ -96,6 +96,7 @@ class ResultStore:
         self.path = path
 
     def load(self) -> Dict[str, Dict[str, object]]:
+        """All checkpointed records keyed by point digest."""
         """All completed records, keyed by digest (first record wins).
 
         Tolerates exactly one torn line at the end of the file — the
@@ -128,6 +129,7 @@ class ResultStore:
         return records
 
     def append(self, record: Dict[str, object]) -> None:
+        """Append one completed-point record and fsync it."""
         """Durably append one record (flush + fsync before returning)."""
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(record_line(record))
@@ -151,6 +153,7 @@ class FailureLog:
         error: str,
         quarantined: bool,
     ) -> None:
+        """Append one attempt failure (fsynced), marking quarantine."""
         entry = {
             "digest": digest,
             "seed": seed,
@@ -166,6 +169,7 @@ class FailureLog:
             os.fsync(handle.fileno())
 
     def load(self) -> List[Dict[str, object]]:
+        """All failure records, in append order."""
         if not os.path.exists(self.path):
             return []
         entries: List[Dict[str, object]] = []

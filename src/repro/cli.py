@@ -10,7 +10,15 @@ Commands:
 * ``obs``        — summarize/filter a JSONL run journal
 * ``campaign``   — fault-injection campaigns: ``run``/``resume``/``report``
   over a checkpointed campaign directory (see :mod:`repro.campaign`)
+* ``cache``      — run-result cache maintenance: ``stats``/``verify``/
+  ``gc``/``clear`` (see :mod:`repro.cache`)
 * ``list``       — show available experiments, scenarios, nodes, policies
+
+``run``, ``sweep``, ``experiment`` and ``campaign run/resume`` accept
+``--cache`` / ``--no-cache`` / ``--cache-dir DIR`` to memoize results
+in the content-addressed run cache (off by default; ``--cache-dir``
+implies ``--cache``; ``--no-cache`` forces a cold computation even
+where project config or scripts turn caching on).
 
 The CLI is a thin shell over the library: everything it does is a few
 lines of :mod:`repro.core.system` / :mod:`repro.experiments` calls, and
@@ -22,6 +30,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import inspect
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -51,6 +60,45 @@ def _jobs_arg(raw: str) -> int:
             f"jobs must be >= 0 (0 or 1 means serial), got {value}"
         )
     return value
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--cache/--no-cache/--cache-dir`` flag triple."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cache", action="store_true",
+        help="memoize run results in the content-addressed cache "
+             "(default dir: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="force cold computation (ignore any cached results)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache directory (implies --cache)",
+    )
+
+
+def _cache_from_args(args: argparse.Namespace):
+    """Build the :class:`repro.cache.RunCache` the flags ask for (or None)."""
+    if getattr(args, "no_cache", False):
+        return None
+    if not (getattr(args, "cache", False) or getattr(args, "cache_dir", None)):
+        return None
+    from repro.cache import RunCache
+
+    return RunCache(cache_dir=args.cache_dir)
+
+
+def _print_cache_outcome(cache) -> None:
+    stats = cache.stats
+    rate = stats.hit_rate()
+    print(
+        f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{stats.bypasses} bypassed"
+        + (f" ({100.0 * rate:.0f}% hit rate)" if rate is not None else "")
+    )
 
 
 _POLICY_CHOICES = {
@@ -97,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="enable the phase profiler and print the per-subsystem profile",
     )
+    _add_cache_flags(run_p)
 
     exp_p = sub.add_parser("experiment", help="run experiments by id")
     exp_p.add_argument("ids", nargs="+", help="experiment ids, e.g. E2 E9 A4")
@@ -106,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the experiment's independent runs "
              "(results are identical to a serial run)",
     )
+    _add_cache_flags(exp_p)
 
     sweep_p = sub.add_parser("sweep", help="sweep one config field")
     sweep_p.add_argument("field", help="SystemConfig field, e.g. tdp_w")
@@ -117,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep points "
              "(results are identical to a serial run)",
     )
+    _add_cache_flags(sweep_p)
 
     obs_p = sub.add_parser("obs", help="summarize/filter a JSONL run journal")
     obs_p.add_argument("journal", help="JSONL journal written by run --journal")
@@ -166,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="testing/ops hook: simulate a crash after N "
                  "checkpointed results (exit code 3; resume continues)",
         )
+        _add_cache_flags(p)
 
     camp_run = camp_sub.add_parser(
         "run", help="start a campaign from a spec JSON"
@@ -191,6 +243,46 @@ def build_parser() -> argparse.ArgumentParser:
     camp_rep.add_argument(
         "campaign_dir", help="campaign directory with spec.json"
     )
+
+    cache_p = sub.add_parser(
+        "cache", help="run-result cache maintenance (stats/verify/gc/clear)"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+
+    def _cache_dir_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir", metavar="DIR",
+            help="cache directory (default: $REPRO_CACHE_DIR or "
+                 "~/.cache/repro)",
+        )
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="show entry count, size and lifetime hit/miss counters"
+    )
+    _cache_dir_arg(cache_stats)
+
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="re-hash every blob; quarantine corrupt ones (exit 1 if any)",
+    )
+    _cache_dir_arg(cache_verify)
+
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="evict LRU entries to a size cap, drop orphan blobs, "
+             "compact the index",
+    )
+    _cache_dir_arg(cache_gc)
+    cache_gc.add_argument(
+        "--max-mb", type=float, default=None, metavar="MB",
+        help="size cap to evict down to (omit to only collect "
+             "orphans and compact)",
+    )
+
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete every cached result"
+    )
+    _cache_dir_arg(cache_clear)
 
     sub.add_parser("list", help="show experiments, scenarios, nodes, policies")
     return parser
@@ -237,7 +329,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         save_config(config, args.save_config)
     journal = Journal(level=args.journal_level) if args.journal else None
     profiler = PhaseProfiler() if args.profile else None
-    result = run_system(config, journal=journal, profiler=profiler)
+    cache = _cache_from_args(args)
+    cache_hit = False
+    if cache is not None and (journal is not None or profiler is not None):
+        # A cached result cannot carry the journal/profile stream of the
+        # run it would skip; count the bypass and compute cold.
+        cache.note_bypass(1, reason="observability enabled")
+        cache = None
+    if cache is not None:
+        result, cache_hit = cache.get_or_run(config)
+    else:
+        result = run_system(config, journal=journal, profiler=profiler)
     rows = [[key, value] for key, value in result.summary().items()]
     print(
         format_table(
@@ -262,6 +364,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"journal written to {args.journal} ({len(journal)} events)")
     if profiler is not None:
         print(profiler.report())
+    if cache is not None:
+        print(f"cache: {'hit' if cache_hit else 'miss (stored)'}")
     return 0
 
 
@@ -316,19 +420,36 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         print(f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    for experiment_id in args.ids:
-        kwargs = {}
-        if args.horizon_us is not None:
-            kwargs["horizon_us"] = args.horizon_us
-        if args.jobs is not None:
-            # Ablation runners predate the parallel harness; only pass
-            # --jobs to runners that accept it.
-            runner = EXPERIMENTS[experiment_id]
-            if "jobs" in inspect.signature(runner).parameters:
-                kwargs["jobs"] = args.jobs
-        result = run_experiment(experiment_id, **kwargs)
-        print(result.render())
-        print()
+    cache = _cache_from_args(args)
+    if cache is not None:
+        # Experiment runners call run_many internally; the process-wide
+        # default threads the cache through without touching their
+        # signatures.  Regenerated tables may therefore be cache-served
+        # — pass --no-cache to force a cold recompute.
+        from repro.cache import set_default_cache
+
+        set_default_cache(cache)
+    try:
+        for experiment_id in args.ids:
+            kwargs = {}
+            if args.horizon_us is not None:
+                kwargs["horizon_us"] = args.horizon_us
+            if args.jobs is not None:
+                # Ablation runners predate the parallel harness; only pass
+                # --jobs to runners that accept it.
+                runner = EXPERIMENTS[experiment_id]
+                if "jobs" in inspect.signature(runner).parameters:
+                    kwargs["jobs"] = args.jobs
+            result = run_experiment(experiment_id, **kwargs)
+            print(result.render())
+            print()
+    finally:
+        if cache is not None:
+            from repro.cache import set_default_cache
+
+            set_default_cache(None)
+    if cache is not None:
+        _print_cache_outcome(cache)
     return 0
 
 
@@ -359,7 +480,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     configs = [
         dataclasses.replace(base, **{args.field: value}) for value in values
     ]
-    results = run_many(configs, args.jobs)
+    cache = _cache_from_args(args)
+    results = run_many(configs, args.jobs, cache=cache)
     rows = []
     for value, result in zip(values, results):
         summary = result.summary()
@@ -380,6 +502,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title=f"sweep of {args.field}",
         )
     )
+    if cache is not None:
+        _print_cache_outcome(cache)
     return 0
 
 
@@ -404,6 +528,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               f"{args.campaign_dir}/{MANIFEST_FILE}")
         return 0
 
+    cache = _cache_from_args(args)
     kwargs = dict(
         jobs=args.jobs,
         retry=RetryPolicy(
@@ -411,6 +536,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         ),
         timeout_s=args.timeout_s,
         interrupt_after=args.interrupt_after,
+        cache=cache,
     )
     try:
         if args.campaign_command == "run":
@@ -426,12 +552,66 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     print(report.render())
     print(f"manifest written to {args.campaign_dir}/{MANIFEST_FILE}")
+    if cache is not None:
+        _print_cache_outcome(cache)
     if report.quarantined:
         print(
             f"warning: {len(report.quarantined)} point(s) quarantined "
             f"(see failures.jsonl); a later resume retries them",
             file=sys.stderr,
         )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import RunCache, default_cache_dir
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    if args.cache_command != "stats" and not os.path.isdir(cache_dir):
+        print(f"no cache at {cache_dir!r}", file=sys.stderr)
+        return 2
+    cache = RunCache(cache_dir=cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.store.stats()
+        rows = [[key, value if value is not None else "-"]
+                for key, value in stats.items()]
+        print(
+            format_table(
+                ["stat", "value"], rows, title=f"cache at {cache_dir}"
+            )
+        )
+        served = stats["touches"]
+        stored = stats["puts"]
+        if served + stored:
+            print(
+                f"lifetime hit rate: "
+                f"{100.0 * served / (served + stored):.1f}% "
+                f"({served} served / {stored} stored)"
+            )
+        return 0
+    if args.cache_command == "verify":
+        report = cache.verify()
+        print(
+            f"checked {report['checked']} blob(s): {report['ok']} ok, "
+            f"{len(report['corrupt'])} corrupt"
+        )
+        for key in report["corrupt"]:
+            print(f"  quarantined {key}")
+        return 1 if report["corrupt"] else 0
+    if args.cache_command == "gc":
+        max_bytes = (
+            int(args.max_mb * 1_000_000) if args.max_mb is not None else None
+        )
+        outcome = cache.gc(max_bytes=max_bytes)
+        print(
+            f"evicted {len(outcome['evicted'])} entr(ies), removed "
+            f"{outcome['orphan_blobs_removed']} orphan blob(s); "
+            f"{outcome['entries']} entr(ies) / {outcome['bytes']} bytes kept"
+        )
+        return 0
+    # clear
+    removed = cache.clear()
+    print(f"cleared {removed} entr(ies) from {cache_dir}")
     return 0
 
 
@@ -450,6 +630,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "obs": cmd_obs,
     "campaign": cmd_campaign,
+    "cache": cmd_cache,
     "list": cmd_list,
 }
 

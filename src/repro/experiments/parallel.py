@@ -19,6 +19,18 @@ exception out of a pool gives no clue *which* of 64 configs died.
 ``run_many`` remains all-or-nothing (a sweep with holes is not a
 sweep); batch workloads that must survive failures and keep partial
 results belong to ``repro.campaign``.
+
+**Memoization.**  ``cache=`` (a :class:`repro.cache.RunCache`, or the
+process default installed by :func:`repro.cache.set_default_cache`)
+serves previously-computed points without re-running them: the
+supervisor probes the cache for every config, dispatches only the
+misses (serially or to the pool — workers return results and never
+touch the cache), then stores the fresh results itself, so the index
+has exactly one writer.  Cached results are pickle round-trips of the
+originals, so a warm sweep is byte-identical to a cold one.  When a
+process-wide journal/profiler is active the whole call is *bypassed*
+(counted per config on the cache's stats): a cached result cannot
+carry the observability stream of the run it skipped.
 """
 
 from __future__ import annotations
@@ -61,8 +73,63 @@ def _run_one(payload: Tuple[int, SystemConfig]):
         )
 
 
+def _resolve_cache(cache, n_configs: int):
+    """Effective cache for one call: explicit arg, else process default.
+
+    Returns ``None`` (and notes a bypass per config) when observability
+    is active: serving a memoized result would silently drop the
+    journal/profile stream the caller asked for, and storing an
+    observed run would be redundant work.
+    """
+    if cache is None:
+        from repro.cache import active_cache
+
+        cache = active_cache()
+    if cache is None:
+        return None
+    from repro.obs import active_journal, active_profiler
+
+    if active_journal().enabled or active_profiler().enabled:
+        cache.note_bypass(n_configs, reason="observability enabled")
+        return None
+    return cache
+
+
+def _run_indexed(
+    config_list: List[SystemConfig],
+    indices: List[int],
+    jobs: Optional[int],
+) -> List[SimulationResult]:
+    """Run the configs at ``indices``; failures keep original indices."""
+    if not jobs or jobs == 1 or len(indices) <= 1:
+        results = []
+        for index in indices:
+            try:
+                results.append(run_system(config_list[index]))
+            except Exception as exc:
+                raise RunFailed(
+                    index,
+                    config_digest(config_list[index]),
+                    f"{type(exc).__name__}: {exc}",
+                ) from exc
+        return results
+    workers = min(jobs, len(indices))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        outcomes = list(
+            pool.map(
+                _run_one, [(index, config_list[index]) for index in indices]
+            )
+        )
+    for outcome in outcomes:
+        if outcome[0] == "err":
+            raise RunFailed(outcome[1], outcome[2], outcome[3])
+    return [outcome[2] for outcome in outcomes]
+
+
 def run_many(
-    configs: Iterable[SystemConfig], jobs: Optional[int] = None
+    configs: Iterable[SystemConfig],
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> List[SimulationResult]:
     """Run every config, optionally across ``jobs`` worker processes.
 
@@ -71,28 +138,34 @@ def run_many(
     run: each simulation is deterministic given its config, and
     ``ProcessPoolExecutor.map`` preserves input order.
 
+    ``cache`` (a :class:`repro.cache.RunCache`; defaults to the process
+    default, if any) memoizes results by salted config digest — hits
+    are served without running, misses are computed (pooled if asked)
+    and stored by the supervisor.  Results are identical with the cache
+    on, off, warm or cold.
+
     Raises :class:`RunFailed` (with the failing config's index and
-    digest) if any run fails.
+    digest) if any run fails; nothing is cached for a failing sweep.
     """
     config_list = list(configs)
     if jobs is not None and jobs < 0:
         raise ValueError(f"jobs must be non-negative, got {jobs}")
-    if not jobs or jobs == 1 or len(config_list) <= 1:
-        results = []
-        for index, config in enumerate(config_list):
-            try:
-                results.append(run_system(config))
-            except Exception as exc:
-                raise RunFailed(
-                    index,
-                    config_digest(config),
-                    f"{type(exc).__name__}: {exc}",
-                ) from exc
-        return results
-    workers = min(jobs, len(config_list))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        outcomes = list(pool.map(_run_one, enumerate(config_list)))
-    for outcome in outcomes:
-        if outcome[0] == "err":
-            raise RunFailed(outcome[1], outcome[2], outcome[3])
-    return [outcome[2] for outcome in outcomes]
+    cache = _resolve_cache(cache, len(config_list))
+    if cache is None:
+        return _run_indexed(
+            config_list, list(range(len(config_list))), jobs
+        )
+    results: List[Optional[SimulationResult]] = [None] * len(config_list)
+    miss_indices: List[int] = []
+    for index, config in enumerate(config_list):
+        cached = cache.get_result(config)
+        if cached is not None:
+            results[index] = cached
+        else:
+            miss_indices.append(index)
+    if miss_indices:
+        fresh = _run_indexed(config_list, miss_indices, jobs)
+        for index, result in zip(miss_indices, fresh):
+            cache.put_result(config_list[index], result)
+            results[index] = result
+    return results  # type: ignore[return-value]

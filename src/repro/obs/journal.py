@@ -61,12 +61,14 @@ class JournalEvent:
     data: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> str:
+        """One-line JSON form (sorted keys) for JSONL streams."""
         return json.dumps(
             {"t": self.time, "type": self.type, **self.data}, sort_keys=True
         )
 
     @classmethod
     def from_json(cls, line: str) -> "JournalEvent":
+        """Parse one JSONL line back into an event."""
         raw = json.loads(line)
         time = raw.pop("t")
         kind = raw.pop("type")
@@ -181,9 +183,11 @@ class Journal:
     # Serialisation
     # ------------------------------------------------------------------
     def to_jsonl(self) -> str:
+        """The journal as JSONL text, one event per line."""
         return "".join(event.to_json() + "\n" for event in self.events)
 
     def write_jsonl(self, path: str) -> None:
+        """Write the journal to ``path`` as JSONL."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_jsonl())
 
@@ -198,6 +202,7 @@ class Journal:
 
     @staticmethod
     def load_jsonl(path: str) -> List[JournalEvent]:
+        """Read a journal back from a JSONL file."""
         with open(path, "r", encoding="utf-8") as handle:
             return Journal.read_jsonl(handle.read())
 

@@ -103,6 +103,7 @@ class PhaseProfiler:
         acc.wall_s += wall_s
 
     def reset(self) -> None:
+        """Drop all recorded samples and counters."""
         self._accs.clear()
 
     # ------------------------------------------------------------------

@@ -64,6 +64,7 @@ class RunManifest:
     journal_dropped: int = 0
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form of the manifest."""
         return {
             "version": self.version,
             "seed": self.seed,

@@ -301,6 +301,12 @@ def _fail_seed2_worker(payload):
 def _exit_seed2_worker(payload):
     point, timeout_s = payload
     if point.seed == 2:
+        # Give co-inflight healthy points time to finish first: a pool
+        # break charges every in-flight point an attempt (the supervisor
+        # cannot tell who crashed), so an instant exit could repeatedly
+        # charge the same innocent point until it quarantines — a real
+        # but rare race this test is not about.
+        time.sleep(0.5)
         os._exit(17)  # hard worker death -> BrokenProcessPool
     return default_worker(payload)
 

@@ -3,9 +3,16 @@
 A downstream user's imports should be stable: everything advertised in
 ``__all__`` must exist, the top-level package must expose the documented
 entry points, and the packaged doctest must hold.
+
+``PACKAGES`` below is also the source of truth for the generated API
+reference: ``benchmarks/gen_api_docs.py`` loads this module by file path
+and emits one ``docs/api/*.md`` page per listed package, and the drift
+test at the bottom fails when those pages lag the code.
 """
 
 import importlib
+import importlib.util
+import os
 
 import pytest
 
@@ -14,6 +21,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.aging",
+    "repro.cache",
     "repro.campaign",
     "repro.core",
     "repro.experiments",
@@ -27,6 +35,17 @@ PACKAGES = [
     "repro.testing",
     "repro.workload",
 ]
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_script(name):
+    """Import a benchmarks/ script by path (they are not a package)."""
+    path = os.path.join(REPO_ROOT, "benchmarks", name + ".py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 @pytest.mark.parametrize("name", PACKAGES)
@@ -64,3 +83,31 @@ def test_cli_module_importable():
 
     parser = build_parser()
     assert parser.prog == "repro"
+
+
+# ----------------------------------------------------------------------
+# Documentation gates (same checks CI's docs job runs)
+# ----------------------------------------------------------------------
+def test_gen_api_docs_uses_this_package_list():
+    gen = _load_script("gen_api_docs")
+    assert gen.load_packages() == PACKAGES
+
+
+def test_api_reference_not_stale():
+    """docs/api/ must match what gen_api_docs.py would emit today."""
+    gen = _load_script("gen_api_docs")
+    problems = gen.check_pages(gen.render_all())
+    assert problems == [], (
+        "regenerate with `PYTHONPATH=src python benchmarks/gen_api_docs.py`"
+    )
+
+
+def test_docstring_lint_clean():
+    """Every public name in cache/campaign/obs carries a docstring."""
+    check = _load_script("check_docs")
+    assert check.check_docstrings() == []
+
+
+def test_docs_internal_links_resolve():
+    check = _load_script("check_docs")
+    assert check.check_links() == []
