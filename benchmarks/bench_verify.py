@@ -1,0 +1,159 @@
+"""Invariant-checker gate: verification must be read-only and cheap.
+
+Runs the same seeded simulation twice — plain, then with the full
+:class:`~repro.verify.InvariantChecker` attached — and gates on the
+checker's whole contract:
+
+* **identity** — the verified run's full-precision summary digest is
+  byte-identical to the plain run's.  The checker promises to *look,
+  never touch*: one RNG draw or perturbed float breaks the digest;
+* **cleanliness** — the invariant catalog reports zero violations on
+  the reference config (the no-violation pin `tests/test_verify.py`
+  makes over E1–E9, kept here so the perf gate cannot pass on a broken
+  model);
+* **overhead** — the verified run's best-of-``--repeats`` wall clock is
+  within ``--max-overhead`` (default 10%) of the plain run's.  The
+  checker re-derives every power channel through the unmemoized scan
+  each epoch, so this bounds the *audit* cost, not just the hook cost.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_verify.py                    # full scale
+    PYTHONPATH=src python benchmarks/bench_verify.py --horizon-us 20000 # CI smoke
+    PYTHONPATH=src python benchmarks/bench_verify.py --max-overhead 0.25
+
+CI runs with a relaxed ``--max-overhead``: shared runners are noisy and
+the local 10% tripwire would flake there.  Exit status is non-zero on a
+digest mismatch, any violation, or a blown overhead budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.system import SystemConfig, run_system
+from repro.obs.provenance import digest_of
+from repro.verify import InvariantChecker
+
+
+def bench_config(horizon_us: float) -> SystemConfig:
+    """The paper's default scale (8x8 mesh, 16 nm, proposed policies)."""
+    return SystemConfig(
+        width=8,
+        height=8,
+        node_name="16nm",
+        horizon_us=horizon_us,
+        test_policy="power-aware",
+        power_policy="pid",
+        seed=17,
+    )
+
+
+def run_gate(horizon_us: float, repeats: int, max_overhead: float) -> dict:
+    """Plain run vs verified run, plus every gate check; returns the report.
+
+    The two variants are timed in interleaved pairs (best-of-``repeats``
+    each) after one untimed warmup: timing one variant's block after the
+    other's lets CPU frequency drift masquerade as checker overhead.
+    """
+    config = bench_config(horizon_us)
+
+    run_system(config)  # warmup, untimed
+
+    plain_s = verified_s = float("inf")
+    plain = verified = checker = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        plain = run_system(config)
+        plain_s = min(plain_s, time.perf_counter() - t0)
+
+        candidate = InvariantChecker()
+        t0 = time.perf_counter()
+        result = run_system(config, verifier=candidate)
+        verified_s = min(verified_s, time.perf_counter() - t0)
+        verified, checker = result, candidate
+
+    plain_digest = digest_of(sorted(plain.summary().items()))
+    verified_digest = digest_of(sorted(verified.summary().items()))
+    overhead = verified_s / plain_s - 1.0 if plain_s > 0 else float("inf")
+    summary = checker.summary()
+    report = {
+        "horizon_us": horizon_us,
+        "repeats": repeats,
+        "plain_s": round(plain_s, 4),
+        "verified_s": round(verified_s, 4),
+        "overhead": round(overhead, 4),
+        "max_overhead": max_overhead,
+        "plain_digest": plain_digest,
+        "verified_digest": verified_digest,
+        "ticks_checked": summary["ticks_checked"],
+        "checks_run": summary["checks_run"],
+        "violations": summary["violations"],
+        "failures": [],
+    }
+    if verified_digest != plain_digest:
+        report["failures"].append(
+            "digest mismatch: the checker perturbed the run"
+        )
+    if summary["violations"]:
+        report["failures"].append(
+            f"{summary['violations']} invariant violation(s) on the "
+            f"reference config: {summary['per_invariant']}"
+        )
+    if summary["ticks_checked"] == 0:
+        report["failures"].append("checker observed zero control epochs")
+    if overhead > max_overhead:
+        report["failures"].append(
+            f"verification overhead {overhead:.1%} exceeds the "
+            f"{max_overhead:.0%} budget"
+        )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--horizon-us", type=float, default=60_000.0)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="wall-clock measurements per variant; best is kept (default 3)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.10,
+        help="verified/plain wall-clock overhead ceiling (default 0.10)",
+    )
+    parser.add_argument(
+        "--json", default=None, help="write the report to this path"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_gate(args.horizon_us, args.repeats, args.max_overhead)
+
+    print(
+        f"plain: {report['plain_s']:.3f}s   "
+        f"verified: {report['verified_s']:.3f}s   "
+        f"overhead: {report['overhead']:+.1%} "
+        f"(budget {report['max_overhead']:.0%})"
+    )
+    print(
+        f"checks: {report['checks_run']} over {report['ticks_checked']} "
+        f"epoch(s), {report['violations']} violation(s)"
+    )
+    print(f"plain digest:    {report['plain_digest']}")
+    print(f"verified digest: {report['verified_digest']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    for failure in report["failures"]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if report["failures"]:
+        return 1
+    print("verify gate ok: read-only, clean, within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

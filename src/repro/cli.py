@@ -12,6 +12,10 @@ Commands:
   over a checkpointed campaign directory (see :mod:`repro.campaign`)
 * ``cache``      — run-result cache maintenance: ``stats``/``verify``/
   ``gc``/``clear`` (see :mod:`repro.cache`)
+* ``verify``     — runtime verification: ``invariants`` over the
+  experiment configs, the metamorphic ``relations`` suite, and journal
+  ``replay`` cross-checks (see :mod:`repro.verify`); ``run --verify``
+  attaches the invariant checker to a single run
 * ``list``       — show available experiments, scenarios, nodes, policies
 
 ``run``, ``sweep``, ``experiment`` and ``campaign run/resume`` accept
@@ -144,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--profile", action="store_true",
         help="enable the phase profiler and print the per-subsystem profile",
+    )
+    run_p.add_argument(
+        "--verify", action="store_true",
+        help="run the inline invariant checker (repro.verify) alongside "
+             "the simulation; non-zero exit on any violation",
     )
     _add_cache_flags(run_p)
 
@@ -284,6 +293,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _cache_dir_arg(cache_clear)
 
+    ver_p = sub.add_parser(
+        "verify",
+        help="runtime invariants, metamorphic relations, journal replay",
+    )
+    ver_sub = ver_p.add_subparsers(dest="verify_command", required=True)
+
+    ver_inv = ver_sub.add_parser(
+        "invariants",
+        help="run the invariant checker over the experiment configs",
+    )
+    ver_inv.add_argument(
+        "--experiments", nargs="+", default=None, metavar="ID",
+        help="experiment ids to certify (default: E1..E9)",
+    )
+    ver_inv.add_argument(
+        "--horizon-ms", type=float, default=20.0,
+        help="horizon per run in ms (default 20)",
+    )
+    ver_inv.add_argument("--seed", type=int, default=11)
+
+    ver_rel = ver_sub.add_parser(
+        "relations", help="check the metamorphic relation suite"
+    )
+    ver_rel.add_argument(
+        "--relations", nargs="+", default=None, metavar="NAME",
+        help="relation names (default: the full catalog; see "
+             "docs/verification.md)",
+    )
+    ver_rel.add_argument(
+        "--horizon-ms", type=float, default=20.0,
+        help="horizon per run in ms (default 20)",
+    )
+    ver_rel.add_argument("--seed", type=int, default=11)
+    ver_rel.add_argument(
+        "--jobs", type=_jobs_arg, default=None,
+        help="worker processes for the relation runs",
+    )
+    _add_cache_flags(ver_rel)
+
+    ver_rep = ver_sub.add_parser(
+        "replay",
+        help="re-simulate a journal and cross-check its recorded power",
+    )
+    ver_rep.add_argument(
+        "journal", help="JSONL journal written by run --journal --verify"
+    )
+    ver_rep.add_argument(
+        "--tolerance-w", type=float, default=1e-9,
+        help="per-channel disagreement tolerance in W (default 1e-9)",
+    )
+
     sub.add_parser("list", help="show experiments, scenarios, nodes, policies")
     return parser
 
@@ -329,17 +389,26 @@ def cmd_run(args: argparse.Namespace) -> int:
         save_config(config, args.save_config)
     journal = Journal(level=args.journal_level) if args.journal else None
     profiler = PhaseProfiler() if args.profile else None
+    verifier = None
+    if args.verify:
+        from repro.verify import InvariantChecker
+
+        verifier = InvariantChecker()
     cache = _cache_from_args(args)
     cache_hit = False
-    if cache is not None and (journal is not None or profiler is not None):
-        # A cached result cannot carry the journal/profile stream of the
-        # run it would skip; count the bypass and compute cold.
+    if cache is not None and (
+        journal is not None or profiler is not None or verifier is not None
+    ):
+        # A cached result cannot carry the journal/profile/verification
+        # stream of the run it would skip; count the bypass, compute cold.
         cache.note_bypass(1, reason="observability enabled")
         cache = None
     if cache is not None:
         result, cache_hit = cache.get_or_run(config)
     else:
-        result = run_system(config, journal=journal, profiler=profiler)
+        result = run_system(
+            config, journal=journal, profiler=profiler, verifier=verifier
+        )
     rows = [[key, value] for key, value in result.summary().items()]
     print(
         format_table(
@@ -366,6 +435,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(profiler.report())
     if cache is not None:
         print(f"cache: {'hit' if cache_hit else 'miss (stored)'}")
+    if verifier is not None:
+        summary = verifier.summary()
+        print(
+            f"verify: {summary['checks_run']} check(s) over "
+            f"{summary['ticks_checked']} epoch(s), "
+            f"{summary['violations']} violation(s)"
+        )
+        if not verifier.ok:
+            for violation in verifier.violations[:10]:
+                print(
+                    f"  [{violation.invariant}] t={violation.time:g}: "
+                    f"{violation.message}",
+                    file=sys.stderr,
+                )
+            return 1
     return 0
 
 
@@ -615,6 +699,136 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import (
+        RELATIONS,
+        ReplayError,
+        check_relations,
+        replay_journal,
+        verify_config,
+    )
+
+    if args.verify_command == "replay":
+        try:
+            report = replay_journal(args.journal, tolerance_w=args.tolerance_w)
+        except ReplayError as exc:
+            print(f"cannot replay journal: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"replayed {report.ticks_checked} epoch(s): "
+            f"{len(report.mismatches)} power mismatch(es), "
+            f"{len(report.transition_violations)} illegal transition(s) "
+            f"over {report.transitions_checked} recorded transition(s), "
+            f"max |error| {report.max_abs_error_w:g} W"
+        )
+        for mismatch in report.mismatches[:10]:
+            print(
+                f"  t={mismatch['time']:g}: {mismatch['channel']} recorded "
+                f"{mismatch['recorded_w']!r} vs replayed "
+                f"{mismatch['replayed_w']!r}",
+                file=sys.stderr,
+            )
+        for violation in report.transition_violations[:10]:
+            print(
+                f"  t={violation['time']:g}: core {violation['core']} "
+                f"{violation['from_state']} -> {violation['to_state']}",
+                file=sys.stderr,
+            )
+        return 0 if report.ok else 1
+
+    if args.verify_command == "relations":
+        relations = None
+        if args.relations is not None:
+            unknown = [n for n in args.relations if n not in RELATIONS]
+            if unknown:
+                print(f"unknown relations: {unknown}", file=sys.stderr)
+                print(f"known: {sorted(RELATIONS)}", file=sys.stderr)
+                return 2
+            relations = [RELATIONS[name]() for name in args.relations]
+        from repro.experiments.runners import DEFAULT_CONFIG
+
+        base = dataclasses.replace(
+            DEFAULT_CONFIG,
+            horizon_us=args.horizon_ms * 1000.0,
+            seed=args.seed,
+        )
+        cache = _cache_from_args(args)
+        report = check_relations(
+            base, relations=relations, jobs=args.jobs, cache=cache
+        )
+        rows = [
+            [o.name, o.n_runs, "ok" if o.ok else "FAIL", o.description]
+            for o in report.outcomes
+        ]
+        print(
+            format_table(
+                ["relation", "runs", "status", "property"],
+                rows,
+                title=f"metamorphic relations ({report.n_runs} runs)",
+            )
+        )
+        if cache is not None:
+            _print_cache_outcome(cache)
+        for failure in report.failures():
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 0 if report.ok else 1
+
+    # invariants
+    from repro.experiments.runners import experiment_configs
+
+    configs = experiment_configs(
+        horizon_us=args.horizon_ms * 1000.0, seed=args.seed
+    )
+    wanted = args.experiments or sorted(configs)
+    unknown = [i for i in wanted if i not in configs]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(configs)}", file=sys.stderr)
+        return 2
+    rows = []
+    failed = False
+    first_bad = None
+    for experiment_id in wanted:
+        config = configs[experiment_id]
+        _result, checker = verify_config(config)
+        summary = checker.summary()
+        rows.append(
+            [
+                experiment_id,
+                config.node_name,
+                config.test_policy,
+                config.power_policy,
+                summary["ticks_checked"],
+                summary["checks_run"],
+                summary["violations"],
+                "ok" if checker.ok else "FAIL",
+            ]
+        )
+        if not checker.ok:
+            failed = True
+            if first_bad is None:
+                first_bad = (experiment_id, checker)
+    print(
+        format_table(
+            [
+                "experiment", "node", "test_policy", "power_policy",
+                "epochs", "checks", "violations", "status",
+            ],
+            rows,
+            title=f"invariant checks ({len(rows)} config(s))",
+        )
+    )
+    if first_bad is not None:
+        experiment_id, checker = first_bad
+        for violation in checker.violations[:10]:
+            print(
+                f"FAIL [{experiment_id}/{violation.invariant}] "
+                f"t={violation.time:g}: {violation.message}",
+                file=sys.stderr,
+            )
+    return 1 if failed else 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:", ", ".join(sorted(EXPERIMENTS)))
     print("scenarios:  ", ", ".join(sorted(SCENARIOS)))
@@ -631,6 +845,7 @@ _COMMANDS = {
     "obs": cmd_obs,
     "campaign": cmd_campaign,
     "cache": cmd_cache,
+    "verify": cmd_verify,
     "list": cmd_list,
 }
 

@@ -220,12 +220,17 @@ class ManycoreSystem:
         config: SystemConfig,
         journal: Optional[Journal] = None,
         profiler: Optional[PhaseProfiler] = None,
+        verifier=None,
     ) -> None:
         self.config = config
         # Observability sinks: explicit argument, else the process-wide
         # default installed by repro.obs.configure (NULL_* when off).
         self.journal = journal if journal is not None else active_journal()
         self.profiler = profiler if profiler is not None else active_profiler()
+        # Runtime invariant checker (repro.verify.InvariantChecker), or
+        # None.  Kept duck-typed: repro.core must not import repro.verify
+        # (the relation suite imports config/sweep machinery from here).
+        self.verifier = verifier
         self._map_acc = None  # cached "mapping" accumulator
         self.sim = Simulator()
         if self.profiler.enabled:
@@ -385,6 +390,10 @@ class ManycoreSystem:
                 # High-rate state churn: only worth the listener call when
                 # the journal would actually keep core.transition events.
                 self.chip.add_transition_listener(self._journal_core_transition)
+        if self.verifier is not None and self.verifier.enabled:
+            # Last so the meter and journal listeners observe transitions
+            # first; the checker is read-only either way.
+            self.verifier.attach(self)
 
     # ------------------------------------------------------------------
     # Journal emission (all read-only: no RNG, no model state, no floats)
@@ -647,6 +656,12 @@ class ManycoreSystem:
             idle=len(self.chip.state_ids(CoreState.IDLE)),
             queued=len(self.queue),
         )
+        verifier = self.verifier
+        if verifier is not None and verifier.enabled:
+            # Reuses the breakdown this epoch already computed, so the
+            # checker adds no extra meter queries (and cannot disturb a
+            # verify_every_n audit cadence).
+            verifier.on_control_tick(self, now, breakdown)
 
     # ------------------------------------------------------------------
     # Run
@@ -713,6 +728,14 @@ def run_system(
     config: SystemConfig,
     journal: Optional[Journal] = None,
     profiler: Optional[PhaseProfiler] = None,
+    verifier=None,
 ) -> SimulationResult:
-    """Build and run one simulation (the one-call public entry point)."""
-    return ManycoreSystem(config, journal=journal, profiler=profiler).run()
+    """Build and run one simulation (the one-call public entry point).
+
+    ``verifier`` accepts a :class:`repro.verify.InvariantChecker`; with
+    ``None`` (the default) the run is byte-identical to an unverified
+    one.
+    """
+    return ManycoreSystem(
+        config, journal=journal, profiler=profiler, verifier=verifier
+    ).run()

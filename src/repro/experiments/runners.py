@@ -549,6 +549,48 @@ def run_e9_pid_ablation(
     )
 
 
+def experiment_configs(
+    horizon_us: float = 60_000.0, seed: int = 11
+) -> Dict[str, SystemConfig]:
+    """One representative *proposed-policy* config per experiment E1–E9.
+
+    These are the configurations the invariant checker certifies (see
+    :mod:`repro.verify`): each experiment's proposed-method variant —
+    power-aware testing under PID budgeting — which the paper claims
+    never violates the budget.  Baseline variants (power-unaware
+    testing, naive TDP policies) violate by design and are exercised as
+    the *negative* cases in ``tests/test_verify.py``.
+    """
+    from repro.core.criticality import CriticalityParameters
+
+    base = replace(DEFAULT_CONFIG, horizon_us=horizon_us, seed=seed)
+    return {
+        "E1": base,
+        "E2": base,
+        "E3": replace(base, node_name="45nm"),
+        "E4": replace(
+            base,
+            criticality=CriticalityParameters(
+                stress_weight=0.85, time_weight=0.15,
+                stress_reference=4.0, time_reference_us=3000.0,
+            ),
+        ),
+        "E5": replace(base, arrival_rate_per_ms=4.0),
+        "E6": replace(base, test_level_policy="nominal"),
+        "E7": replace(base, mapper="test-aware", arrival_rate_per_ms=3.0),
+        "E8": replace(
+            base, fault_hazard_per_us=1e-6, fault_stress_scale=10.0
+        ),
+        "E9": replace(
+            base,
+            tdp_w=50.0,
+            bursty=True,
+            profile_names=("small", "medium"),
+            profile_weights=(0.5, 0.5),
+        ),
+    }
+
+
 #: Registry used by the benchmark harness and the CLI example.
 EXPERIMENTS = {
     "E1": run_e1_power_trace,

@@ -77,6 +77,15 @@ class NocModel:
     def link_load(self, link: Link) -> float:
         return self._link_load.get(link_id(self.mesh, link), 0.0)
 
+    def link_loads(self) -> Dict[int, float]:
+        """Current per-link flit loads keyed by link id (a copy).
+
+        Only links with in-flight transfers appear; all loads are
+        non-negative by construction (``release`` refuses to go below
+        zero), which is what the NoC sanity invariant checks.
+        """
+        return dict(self._link_load)
+
     def occupy(self, link_ids: List[int], flits: float) -> None:
         loads = self._link_load
         get = loads.get

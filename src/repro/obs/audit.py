@@ -143,6 +143,8 @@ def summarize(journal) -> Dict[str, object]:
         ),
         "budget_violations": counts.get("budget.violation", 0),
         "dvfs_changes": counts.get("dvfs.change", 0),
+        "verify_violations": counts.get("verify.violation", 0),
+        "verify_ticks": counts.get("verify.power", 0),
     }
 
 
@@ -168,6 +170,11 @@ def format_summary(journal, n_levels: Optional[int] = None) -> str:
                 ["deferral_reason", "count"],
                 sorted(roll["deferral_reasons"].items()),
             )
+        )
+    if roll["verify_violations"]:
+        parts.append(
+            f"VERIFY: {roll['verify_violations']} invariant violation(s) "
+            "recorded (filter with --type verify.)"
         )
     intervals = core_test_intervals(events)
     if intervals:

@@ -226,6 +226,16 @@ class PowerMeter:
     def noc_power(self) -> float:
         return self._noc_power_w
 
+    def activity_of(self, core_id: int) -> Optional[float]:
+        """The registered activity factor of a core (None when unset).
+
+        An unset factor means a busy/testing core draws
+        ``default_activity``; gated and retired cores have no factor by
+        construction.  Read-only view used by the invariant checker's
+        replay snapshots.
+        """
+        return self._core_activity.get(core_id)
+
     # ------------------------------------------------------------------
     # Power computation
     # ------------------------------------------------------------------

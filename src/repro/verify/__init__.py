@@ -1,0 +1,120 @@
+"""repro.verify: runtime invariants + metamorphic verification.
+
+The correctness counterpart to :mod:`repro.obs`'s observability layer,
+in three pieces:
+
+* **Inline invariants** (:mod:`repro.verify.invariants`) — pluggable
+  :class:`Invariant` objects checked while the simulator runs: power
+  conservation (incremental meter vs. reference scan), budget
+  compliance with violation provenance, core state-machine legality,
+  test non-intrusiveness (SBST only on idle cores), event-time
+  monotonicity, NoC link sanity.  Attached via
+  ``run_system(config, verifier=InvariantChecker())`` or the CLI's
+  ``--verify`` flag; with no checker a run is byte-identical to an
+  unverified one.
+* **Metamorphic relations** (:mod:`repro.verify.relations`) —
+  declarative config-transformation properties (budget up ⇒ throughput
+  non-decreasing, zero hazard ⇒ zero detections, seed-permutation
+  invariance, level-domain coverage, no-test ⇒ zero tests) executed
+  through ``run_many`` with cache reuse.
+* **Journal replay** (:mod:`repro.verify.replay`) — an independent
+  re-simulator that recomputes every epoch's power breakdown from
+  journal snapshots and cross-checks the live meter bit-for-bit.
+
+Quick check of one config::
+
+    >>> from repro import SystemConfig
+    >>> from repro.verify import verify_config
+    >>> result, checker = verify_config(SystemConfig(horizon_us=2_000.0))
+    >>> checker.ok
+    True
+
+See ``docs/verification.md`` for the invariant catalog and the mapping
+from relations to paper claims.
+"""
+
+from repro.verify.invariants import (
+    NULL_VERIFIER,
+    BudgetComplianceInvariant,
+    Invariant,
+    InvariantChecker,
+    InvariantViolation,
+    NocLinkSanityInvariant,
+    PowerConservationInvariant,
+    StateLegalityInvariant,
+    TestNonIntrusivenessInvariant,
+    TimeMonotonicityInvariant,
+    VerificationError,
+    default_invariants,
+)
+from repro.verify.relations import (
+    RELATIONS,
+    BudgetMonotonicThroughput,
+    LevelDomainCoverage,
+    MetamorphicRelation,
+    NoTestPolicyZeroTests,
+    RelationOutcome,
+    RelationReport,
+    SeedPermutationInvariance,
+    ZeroHazardZeroFaults,
+    check_relations,
+    default_relations,
+)
+from repro.verify.replay import ReplayError, ReplayReport, replay_journal
+
+
+def verify_config(
+    config,
+    invariants=None,
+    mode="record",
+    journal=None,
+    emit_replay=True,
+):
+    """Run one config under the invariant checker.
+
+    Returns ``(result, checker)``; inspect ``checker.ok`` /
+    ``checker.violations`` / ``checker.summary()``.  ``invariants``
+    defaults to the full catalog, ``mode`` to recording (pass
+    ``"raise"`` to stop at the first violation).
+    """
+    # Imported lazily: repro.core.system must not import repro.verify
+    # (relations import SystemConfig machinery), so the dependency
+    # points this way only.
+    from repro.core.system import run_system
+
+    checker = InvariantChecker(
+        invariants=invariants, mode=mode, emit_replay=emit_replay
+    )
+    result = run_system(config, journal=journal, verifier=checker)
+    return result, checker
+
+
+__all__ = [
+    "BudgetComplianceInvariant",
+    "BudgetMonotonicThroughput",
+    "Invariant",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LevelDomainCoverage",
+    "MetamorphicRelation",
+    "NULL_VERIFIER",
+    "NoTestPolicyZeroTests",
+    "NocLinkSanityInvariant",
+    "PowerConservationInvariant",
+    "RELATIONS",
+    "RelationOutcome",
+    "RelationReport",
+    "ReplayError",
+    "ReplayReport",
+    "SeedPermutationInvariance",
+    "StateLegalityInvariant",
+    "TestNonIntrusivenessInvariant",
+    "TimeMonotonicityInvariant",
+    "VerificationError",
+    "ZeroHazardZeroFaults",
+    "check_relations",
+    "default_invariants",
+    "default_relations",
+    "replay_journal",
+    "verify_config",
+]

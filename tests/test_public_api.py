@@ -33,6 +33,7 @@ PACKAGES = [
     "repro.power",
     "repro.sim",
     "repro.testing",
+    "repro.verify",
     "repro.workload",
 ]
 

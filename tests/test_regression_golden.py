@@ -10,6 +10,8 @@ on purpose, update the pinned values and say so in the commit.
 import pytest
 
 from repro.core.system import SystemConfig, run_system
+from repro.obs.journal import Journal
+from repro.obs.provenance import digest_of
 
 GOLDEN_CONFIG = SystemConfig(
     width=4,
@@ -63,6 +65,61 @@ def test_golden_trace_integrals_consistent(golden):
         for ch in ("workload", "test", "leakage", "noc")
     )
     assert parts == pytest.approx(total, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Per-subsystem mini-goldens
+#
+# The summary pins above catch *whole-run* drift but cannot localise it.
+# These digests pin one subsystem's decision stream each — the test
+# scheduler's launch/defer sequence, the PID/DVFS control trace, and the
+# mapper's placements — so a regression points at the layer that moved.
+# Recompute a digest with the projection below after an intentional
+# model change.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def golden_journal(golden):
+    journal = Journal(level="info")
+    result = run_system(GOLDEN_CONFIG, journal=journal)
+    # Journaling is read-only: same run as the unjournaled golden.
+    assert result.summary() == golden.summary()
+    return journal
+
+
+def _stream_digest(journal, types):
+    """Order-preserving digest of the full payloads of selected events."""
+    return digest_of(
+        (event.time, event.type, tuple(sorted(event.data.items())))
+        for event in journal.events
+        if event.type in types
+    )
+
+
+def test_golden_scheduler_decision_stream(golden_journal):
+    counts = golden_journal.counts()
+    assert counts["test.launch"] == 25
+    assert "test.defer" not in counts  # budget never forces a deferral here
+    assert _stream_digest(golden_journal, {"test.launch", "test.defer"}) == (
+        "9c6e80d0a318e65e997ca234f7b2432e682a921dc74170f981233d5d54bb3d89"
+    )
+
+
+def test_golden_pid_control_trace(golden_journal):
+    counts = golden_journal.counts()
+    assert counts["pid.step"] == 80
+    assert counts["dvfs.change"] == 1
+    assert _stream_digest(golden_journal, {"pid.step", "dvfs.change"}) == (
+        "f6140ba7deaf1266aa21e13efe4f83477cd9621c1c7a3be7a94a5ca6f8764287"
+    )
+
+
+def test_golden_mapping_placements(golden_journal):
+    counts = golden_journal.counts()
+    assert counts["app.map"] == 73
+    assert counts["app.map"] == counts["app.arrival"]
+    assert _stream_digest(golden_journal, {"app.map"}) == (
+        "e3a16b2616c51defe111081a5f6f23aae17f1ae57f45a760b096bb8932e33e70"
+    )
 
 
 def test_golden_seed_sensitivity():
