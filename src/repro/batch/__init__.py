@@ -1,0 +1,39 @@
+"""Batched lockstep simulation: *B* seed-replicas of one config per process.
+
+Every experiment and campaign in this repo is a statistic over seed
+replicas of a single :class:`~repro.core.system.SystemConfig`.  The
+scalar engine advances one Python-object chip at a time; this package
+advances a whole batch of them in lockstep, epoch by epoch, with the hot
+per-core control-plane state (criticality stress/timers, TDP headroom,
+PID controller state, candidate masks) held in numpy structure-of-arrays
+with a leading batch axis.
+
+The model plane (discrete events, task execution, NoC transfers) stays
+on the scalar engine per lane — that is what makes the batch **bit-exact**:
+:func:`run_batch` produces, per seed, results digest-identical to
+``run_system(replace(config, seed=s))``.  The scalar engine is the
+verification oracle; identity is pinned by ``tests/test_batch.py`` and
+gated in CI by ``benchmarks/bench_batch.py``.  The speed comes from the
+vectorized control plane deciding, across the batch at once, which
+per-lane scalar work can be skipped entirely (test-scheduler ticks with
+no due candidate, repeated placement attempts over an unchanged
+availability set).
+
+See ``docs/performance.md`` for the array inventory and the batch-axis
+convention, and :func:`run_batch` for the envelope (when the scalar
+oracle runs instead).
+"""
+
+from repro.batch.arrays import BatchArrays, BatchShapeError, as_seed_array
+from repro.batch.lockstep import result_digest, run_batch
+from repro.batch.routes import hop_matrix, warm_route_cache
+
+__all__ = [
+    "BatchArrays",
+    "BatchShapeError",
+    "as_seed_array",
+    "hop_matrix",
+    "result_digest",
+    "run_batch",
+    "warm_route_cache",
+]

@@ -1,0 +1,117 @@
+"""Structure-of-arrays state for lockstep seed-replica batches.
+
+Convention: **the batch axis leads**.  Every array is either ``(B,)``
+(one scalar per lane — measured chip power, PID cap/error/integral) or
+``(B, C)`` (one value per lane per core — test-criticality stress and
+timers, candidate/due masks).  Row ``i`` always belongs to lane ``i``,
+the replica running ``seeds[i]``; column ``j`` of a ``(B, C)`` array is
+core ``j`` (``core_id`` order, which is the chip's construction order).
+
+Everything is float64/bool: the lockstep driver mirrors scalar Python
+float expressions elementwise, and IEEE-754 double ops are bit-identical
+between the two representations as long as the operation order matches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BatchShapeError(ValueError):
+    """A batch array or seed vector has the wrong shape for the batch."""
+
+
+def as_seed_array(seeds) -> np.ndarray:
+    """Validate and normalise a seed batch to a 1-D integer ndarray.
+
+    Accepts any sequence or ndarray of integers.  Raises
+    :class:`BatchShapeError` for a non-1-D or empty batch and
+    :class:`TypeError` for a non-integer dtype (floats would silently
+    truncate, bools are almost certainly a mask passed by mistake).
+    """
+    arr = np.asarray(seeds)
+    if arr.size == 0:
+        # Checked before dtype: np.asarray([]) defaults to float64, and
+        # "empty batch" is the useful diagnosis there, not the dtype.
+        raise BatchShapeError("seed batch must contain at least one seed")
+    if arr.dtype.kind not in "iu":
+        raise TypeError(
+            f"seeds must have an integer dtype, got {arr.dtype} "
+            f"(floats/bools are rejected rather than coerced)"
+        )
+    if arr.ndim != 1:
+        raise BatchShapeError(
+            f"seeds must be 1-D (the batch axis), got shape {arr.shape}"
+        )
+    return arr
+
+
+class BatchArrays:
+    """Pre-allocated SoA buffers for one lockstep batch (B lanes, C cores).
+
+    The driver reuses these every control epoch instead of re-allocating;
+    all arrays follow the leading-batch-axis convention documented in the
+    module docstring.
+    """
+
+    def __init__(self, n_lanes: int, n_cores: int) -> None:
+        if not isinstance(n_lanes, int) or not isinstance(n_cores, int):
+            raise TypeError("n_lanes and n_cores must be ints")
+        if n_lanes < 1 or n_cores < 1:
+            raise BatchShapeError(
+                f"batch needs at least one lane and one core, "
+                f"got B={n_lanes}, C={n_cores}"
+            )
+        self.n_lanes = n_lanes
+        self.n_cores = n_cores
+        shape = (n_lanes, n_cores)
+        #: ``stress_since_test`` per lane per core (criticality numerator).
+        self.stress = np.zeros(shape)
+        #: ``last_test_end`` per lane per core (interval + time term).
+        self.last_test_end = np.zeros(shape)
+        #: Criticality values (the scalar metric, computed batch-wide).
+        self.values = np.zeros(shape)
+        #: Idle-and-unowned mask: cores a non-intrusive test could use.
+        self.candidate = np.zeros(shape, dtype=bool)
+        #: Candidate & interval-elapsed & over-threshold: scheduler work.
+        self.due = np.zeros(shape, dtype=bool)
+        #: Measured chip power per lane (the TDP-headroom input).
+        self.measured = np.zeros(n_lanes)
+        #: Per-lane power cap this epoch (guarded TDP, or TSP's count cap).
+        self.cap = np.zeros(n_lanes)
+        #: PID integral state per lane (mirrors ``PIDController._integral``).
+        self.pid_integral = np.zeros(n_lanes)
+        #: PID last error per lane (mirrors ``PIDController._last_error``).
+        self.pid_last_error = np.zeros(n_lanes)
+
+    # ------------------------------------------------------------------
+    def gather_criticality(self, lane: int, cores) -> None:
+        """Load one lane's per-core stress/timer state into row ``lane``.
+
+        ``cores`` must be the chip's core list in ``core_id`` order (the
+        chip builds them that way); raises :class:`BatchShapeError` on a
+        row-length mismatch so a wrong-chip batch fails loudly.
+        """
+        if len(cores) != self.n_cores:
+            raise BatchShapeError(
+                f"lane {lane} has {len(cores)} cores, batch expects "
+                f"{self.n_cores}"
+            )
+        self.stress[lane] = [core.stress_since_test for core in cores]
+        self.last_test_end[lane] = [core.last_test_end for core in cores]
+
+    def criticality_values(self, now: float, params) -> np.ndarray:
+        """Vectorized criticality metric over the whole batch.
+
+        Elementwise-identical to
+        :meth:`repro.core.criticality.TestCriticality.value`:
+        ``w_s·(stress/S_ref) + w_t·(max(0, now−last)/T_ref)``.
+        """
+        elapsed = np.maximum(now - self.last_test_end, 0.0)
+        np.multiply(
+            params.stress_weight,
+            self.stress / params.stress_reference,
+            out=self.values,
+        )
+        self.values += params.time_weight * (elapsed / params.time_reference_us)
+        return self.values

@@ -1,0 +1,474 @@
+"""The lockstep batch driver: bit-exact B-way seed-replica simulation.
+
+One process advances *B* independent :class:`~repro.core.system.ManycoreSystem`
+replicas ("lanes") of the same config, differing only in seed, through
+the same control-epoch grid the scalar engine uses.  Per epoch boundary
+``t`` the driver:
+
+1. drains each lane's event heap up to ``t`` (model plane, scalar);
+2. replays the scalar ``_control_tick`` phase order — fault injection,
+   thermal step, power management, test scheduling, mapping attempt,
+   metric sampling — but with the control-plane *decisions* evaluated
+   across the batch at once on numpy structure-of-arrays
+   (:class:`~repro.batch.arrays.BatchArrays`):
+
+   * the PID power controller's update is one vectorized expression over
+     ``(B,)`` arrays, written back into each lane's controller so the
+     actuation walk (inherently sequential per lane) sees bit-identical
+     state;
+   * test criticality is computed as ``(B, C)`` array math; the per-lane
+     scheduler tick is **skipped entirely** when the batch-level due
+     mask proves it would be a no-op (no emergency, and no candidate
+     core over threshold — the common case on a loaded chip);
+   * the per-core stress/timer arrays are maintained *incrementally* —
+     the aging model mirrors every ``stress_since_test`` write and the
+     test runner's completion hook mirrors the reset/timestamp — so the
+     epoch loop never re-gathers per-core attributes.
+
+Every shortcut is an exact refactor: skipped work is work the scalar
+engine would have done with no observable effect, and the array math
+mirrors the scalar float expressions elementwise (IEEE-754 doubles are
+deterministic, so matching the operation order matches the bits).  The
+oracle contract — ``run_batch(config, seeds)`` digest-equals
+``[run_system(replace(config, seed=s)) for s in seeds]`` — is pinned by
+``tests/test_batch.py`` and ``benchmarks/bench_batch.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.aging.model import AgingModel
+from repro.batch.arrays import BatchArrays, as_seed_array
+from repro.batch.routes import warm_route_cache
+from repro.core.criticality import TestCriticality
+from repro.core.mapping import TestAwareUtilizationMapper
+from repro.core.scheduler import PowerAwareTestScheduler
+from repro.core.system import (
+    ManycoreSystem,
+    SimulationResult,
+    SystemConfig,
+    run_system,
+)
+from repro.obs import active_journal, active_profiler
+from repro.obs.provenance import digest_of
+from repro.platform.core import CoreState
+from repro.power.manager import PIDPowerManager
+from repro.testing.schedulers import NoTestScheduler
+
+class _LaneCriticality(TestCriticality):
+    """Criticality that serves one lane's row of the batched value array.
+
+    During a batched control tick the driver installs the lane's
+    freshly-computed ``(C,)`` value row (valid only at that tick's
+    timestamp); :meth:`value` serves from it, so the scheduler's
+    rank/is_due walk and the test-aware mapper's cost terms reuse the
+    vectorized result instead of recomputing per core.  Any other
+    ``now`` (model events between ticks, next-slice delay-0 mapping
+    retries) falls back to the exact scalar computation.
+    """
+
+    def __init__(self, params) -> None:
+        super().__init__(params)
+        self._row: Optional[List[float]] = None
+        self._row_now = 0.0
+
+    def set_row(self, row: List[float], now: float) -> None:
+        self._row = row
+        self._row_now = now
+
+    def clear_row(self) -> None:
+        self._row = None
+
+    def value(self, core, now: float) -> float:
+        row = self._row
+        if row is not None and now == self._row_now:
+            return row[core.core_id]
+        return super().value(core, now)
+
+
+class _RowAgingModel(AgingModel):
+    """Aging model that mirrors ``stress_since_test`` into a batch row.
+
+    ``accrue_busy`` is the *only* writer that increases a core's
+    ``stress_since_test`` (tests accrue ``age_stress`` only, and the
+    reset on test completion is mirrored by the runner's ``on_complete``
+    hook), so overriding it keeps the lane's ``(C,)`` stress row exactly
+    equal to the live core attributes at all times — the driver never
+    has to re-gather per-core state on the epoch grid.
+    """
+
+    def __init__(self, node, params) -> None:
+        super().__init__(node, params)
+        self._row: Optional[np.ndarray] = None
+
+    def accrue_busy(self, core, duration_us, level, activity):
+        delta = super().accrue_busy(core, duration_us, level, activity)
+        row = self._row
+        if row is not None:
+            row[core.core_id] = core.stress_since_test
+        return delta
+
+
+class _Lane:
+    """One seed-replica: an unmodified scalar system plus batch shims."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        system = ManycoreSystem(config)
+        crit = _LaneCriticality(system.criticality.params)
+        system.criticality = crit
+        if isinstance(system.test_scheduler, PowerAwareTestScheduler):
+            system.test_scheduler.criticality = crit
+        if isinstance(system.mapper, TestAwareUtilizationMapper):
+            system.mapper.criticality = crit
+        # Swap in the row-mirroring aging model everywhere the scalar
+        # system wired the original (same node/params — it is stateless,
+        # so the replacement is behavior-identical).
+        aging = _RowAgingModel(system.aging.node, system.aging.params)
+        system.aging = aging
+        system.executor.aging = aging
+        system.runner.aging = aging
+        self.aging = aging
+        self.system = system
+        self.crit = crit
+        for arrival in system.generate_arrivals():
+            system.sim.at(arrival.time, system._on_arrival, arrival)
+
+    def bind_rows(self, stress_row: np.ndarray, last_row: np.ndarray) -> None:
+        """Point the mirrors at this lane's batch rows and hook resets."""
+        self.aging._row = stress_row
+
+        def _on_test_complete(core, session) -> None:
+            cid = core.core_id
+            last_row[cid] = core.last_test_end
+            stress_row[cid] = 0.0
+
+        self.system.runner.on_complete.append(_on_test_complete)
+
+
+def run_batch(config: SystemConfig, seeds) -> List[SimulationResult]:
+    """Run ``config`` once per seed, lanes advanced in lockstep.
+
+    Returns one :class:`~repro.core.system.SimulationResult` per seed,
+    in seed order, each digest-identical (see :func:`result_digest`) to
+    ``run_system(replace(config, seed=seed))``.
+
+    ``seeds`` must be a 1-D, non-empty integer sequence/array (see
+    :func:`~repro.batch.arrays.as_seed_array` for the exact validation).
+    When a process-wide journal or profiler is active the call falls
+    back to the scalar engine per seed — observability streams are
+    per-run and cannot be interleaved across lanes — so results are
+    identical either way.
+    """
+    seed_list = [int(s) for s in as_seed_array(seeds)]
+    if active_journal().enabled or active_profiler().enabled:
+        return [run_system(replace(config, seed=s)) for s in seed_list]
+    lanes = [_Lane(replace(config, seed=s)) for s in seed_list]
+    _drive(config, lanes)
+    return [lane.system._collect_result() for lane in lanes]
+
+
+def result_digest(result: SimulationResult) -> str:
+    """Stable digest over everything a run observably produced.
+
+    Covers the scalar summary row, per-core busy/aging/test tallies,
+    per-level test counts, NoC stats, event/abort/skip counters, policy
+    names and the full fault-record list — everything except wall-time
+    provenance (profile timings, journal event counts), which legitimately
+    differs between two bit-identical runs.  Batched-vs-scalar identity
+    is asserted on this digest.
+    """
+    faults = tuple(
+        (r.core_id, r.injected_at, r.manifest_level, r.kind, r.detected_at)
+        for r in result.fault_records
+    )
+    return digest_of(
+        [
+            sorted(result.summary().items()),
+            sorted(result.per_core_busy_us.items()),
+            sorted(result.per_core_age_stress.items()),
+            sorted(result.per_core_tests.items()),
+            sorted(result.per_level_tests.items()),
+            result.noc_avg_hops,
+            result.peak_temperature_c,
+            result.events_fired,
+            result.emergency_aborts,
+            result.skipped_no_budget,
+            result.scheduler_name,
+            result.mapper_name,
+            result.power_policy_name,
+            faults,
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# The lockstep drive loop
+# ----------------------------------------------------------------------
+def _drive(config: SystemConfig, lanes: List[_Lane]) -> None:
+    """Advance every lane to the horizon along the scalar epoch grid."""
+    warm_route_cache(lanes[0].system.mesh)
+    n_lanes = len(lanes)
+    n_cores = len(lanes[0].system.chip.cores)
+    arrays = BatchArrays(n_lanes, n_cores)
+    # Fresh systems start with stress == last_test_end == 0.0, matching
+    # the zero-initialised arrays; from here the rows are maintained
+    # incrementally by the aging mirror and the test-completion hook.
+    for i, lane in enumerate(lanes):
+        lane.bind_rows(arrays.stress[i], arrays.last_test_end[i])
+    epoch = config.epoch_us
+    horizon = config.horizon_us
+    crit_params = lanes[0].crit.params
+
+    # Hoist the per-lane object graph out of the epoch loop: every list
+    # below is bound once in ``ManycoreSystem.__init__`` and never
+    # rebound, and the attribute chains are hot enough (lanes x epochs x
+    # phases) that the lookups are measurable.
+    systems = [lane.system for lane in lanes]
+    sims = [system.sim for system in systems]
+    injectors = [system.injector for system in systems]
+    meters = [system.meter for system in systems]
+    chips = [system.chip for system in systems]
+    metrics_list = [system.metrics for system in systems]
+    queues = [system.queue for system in systems]
+    crits = [lane.crit for lane in lanes]
+    busy_s, testing_s, idle_s = (
+        CoreState.BUSY,
+        CoreState.TESTING,
+        CoreState.IDLE,
+    )
+
+    managers = [system.power_manager for system in systems]
+    # PID-family managers (``pid`` and ``tsp``) share the controller
+    # update; their per-epoch caps may differ per lane (TSP counts the
+    # lane's active cores), which is why ``cap`` is a (B,) array.
+    pid_family = isinstance(managers[0], PIDPowerManager)
+    if pid_family:
+        gains = managers[0].controller.gains
+        integral_limit = managers[0].controller.integral_limit
+        primed = False
+
+    schedulers = [system.test_scheduler for system in systems]
+    sched0 = schedulers[0]
+    aware = isinstance(sched0, PowerAwareTestScheduler)
+    no_tests = isinstance(sched0, NoTestScheduler)
+    mapper_wants_rows = isinstance(
+        lanes[0].system.mapper, TestAwareUtilizationMapper
+    )
+    need_rows = aware or mapper_wants_rows
+    min_interval = sched0.min_interval_us
+    thermal_on = lanes[0].system.thermal is not None
+    thermal_margin = config.thermal_test_margin_c
+
+    # The scalar grid: ``sim.every`` fires first at now(0)+epoch and each
+    # tick reschedules at its own (float) fire time + epoch, so the grid
+    # is the same left-to-right float accumulation as this loop.
+    t = 0.0
+    while True:
+        t += epoch
+        if t > horizon:
+            break
+        # -- per-lane pass: heap drain, fault injection, thermal step,
+        # PID input gather.  Lanes are independent, so fusing these
+        # phases into ONE walk over the lane list (instead of one walk
+        # per phase) preserves the scalar per-lane phase order while
+        # touching each lane's working set once — at B=16/64 the extra
+        # passes are a measurable cache-locality tax.
+        caps = arrays.cap
+        measured = arrays.measured
+        for i in range(n_lanes):
+            sims[i].run(until=t)
+            injectors[i].tick(t, epoch)
+            if thermal_on:
+                thermal = systems[i].thermal
+                meter = meters[i]
+                thermal.step(
+                    {c.core_id: meter.core_power(c) for c in chips[i]},
+                    epoch,
+                )
+                metrics_list[i].trace.record(
+                    "thermal.max_c", t, thermal.hottest()
+                )
+            if pid_family:
+                manager = managers[i]
+                caps[i] = manager.current_cap()
+                measured[i] = manager.meter.chip_power()
+        # -- control phase 3: power management --------------------------
+        if pid_family:
+            # Vectorized PIDController.update: same expressions, same
+            # order, over (B,) float64 arrays.
+            error = caps - measured
+            integral = arrays.pid_integral
+            integral += error * epoch
+            np.minimum(integral, integral_limit, out=integral)
+            np.maximum(integral, -integral_limit, out=integral)
+            if primed:
+                derivative = (error - arrays.pid_last_error) / epoch
+            else:
+                derivative = np.zeros(n_lanes)
+            signal = (
+                gains.kp * error + gains.ki * integral + gains.kd * derivative
+            )
+            target = np.minimum(caps, measured + signal)
+            arrays.pid_last_error[:] = error
+            primed = True
+            for i, manager in enumerate(managers):
+                controller = manager.controller
+                manager._tick_now = t
+                controller.set_point = float(caps[i])
+                controller._integral = float(integral[i])
+                controller._last_error = float(error[i])
+                controller._primed = True
+                manager._actuate(t, float(measured[i]), float(target[i]))
+        else:
+            for manager in managers:
+                manager.tick(t, epoch)
+        # -- control phase 4: test scheduling ---------------------------
+        if not no_tests or mapper_wants_rows:
+            _scheduler_phase(
+                systems,
+                schedulers,
+                meters,
+                chips,
+                crits,
+                arrays,
+                t,
+                epoch,
+                crit_params,
+                min_interval,
+                aware=aware,
+                no_tests=no_tests,
+                need_rows=need_rows,
+                thermal_margin=thermal_margin if thermal_on else None,
+            )
+        # -- control phase 5: mapping attempt + metric sampling ---------
+        for i in range(n_lanes):
+            # The profiler is guaranteed off on the batch path (run_batch
+            # falls back to the scalar engine otherwise), so the timing
+            # wrapper around ``_try_map`` is skipped outright.
+            systems[i]._try_map_impl()
+            metrics = metrics_list[i]
+            metrics.sample_power(t, meters[i].breakdown())
+            state_ids = chips[i].state_ids
+            metrics.sample_counts(
+                t,
+                busy=len(state_ids(busy_s)),
+                testing=len(state_ids(testing_s)),
+                idle=len(state_ids(idle_s)),
+                queued=len(queues[i]),
+            )
+            # The scalar tick closure itself counts as one fired event.
+            sims[i].events_fired += 1
+        # Rows are valid only within this tick's control phase: delay-0
+        # events firing at the same timestamp next slice must recompute
+        # from live core state, exactly as the scalar engine does.
+        if need_rows:
+            for crit in crits:
+                crit.clear_row()
+    # -- drain the tail past the last epoch boundary --------------------
+    for sim in sims:
+        sim.run(until=horizon)
+
+
+def _scheduler_phase(
+    systems,
+    schedulers,
+    meters,
+    chips,
+    crits,
+    arrays: BatchArrays,
+    t: float,
+    epoch: float,
+    crit_params,
+    min_interval: float,
+    *,
+    aware: bool,
+    no_tests: bool,
+    need_rows: bool,
+    thermal_margin: Optional[float],
+) -> None:
+    """Batched criticality/headroom evaluation + per-lane scheduler ticks.
+
+    Computes the ``(B, C)`` criticality values and due masks once, then
+    calls each lane's scalar ``tick`` only when it can have an effect:
+    a power-aware tick is a no-op unless the chip is in a budget
+    emergency or some candidate core is due *and* headroom/slots exist;
+    a baseline tick is a no-op unless some candidate core's interval
+    has elapsed.  (With the journal off — guaranteed on the batch path —
+    the skipped branches emit nothing either.)
+
+    The ``stress``/``last_test_end`` arrays are already current (they are
+    maintained incrementally, see :class:`_RowAgingModel` and
+    :meth:`_Lane.bind_rows`), so the only per-lane state read here is
+    the idle-and-unowned candidate mask.
+    """
+    n_lanes = arrays.n_lanes
+    candidate = arrays.candidate
+    idle_s = CoreState.IDLE
+    for i in range(n_lanes):
+        row = candidate[i]
+        row[:] = False
+        chip = chips[i]
+        cores = chip.cores
+        # Reads the attribute behind the ``owner_app`` property directly:
+        # this scan touches every idle core of every lane every epoch, and
+        # the property wrapper is measurable at that volume.
+        ids = [
+            cid
+            for cid in chip.state_ids(idle_s)
+            if cores[cid]._owner_app is None
+        ]
+        if ids:
+            row[ids] = True
+    raw_elapsed = t - arrays.last_test_end
+    interval_ok = raw_elapsed >= min_interval
+    if need_rows:
+        values = arrays.criticality_values(t, crit_params)
+        if not aware:
+            # Only the test-aware mapper consumes rows on this branch;
+            # power-aware lanes install rows lazily, just before a tick.
+            for i in range(n_lanes):
+                crits[i].set_row(values[i].tolist(), t)
+    if no_tests:
+        return
+    if aware:
+        np.logical_and(candidate, interval_ok, out=arrays.due)
+        np.logical_and(arrays.due, values >= crit_params.threshold, out=arrays.due)
+        any_due = arrays.due.any(axis=1)
+        measured = arrays.measured
+        for i in range(n_lanes):
+            measured[i] = meters[i].chip_power()
+        sched0 = schedulers[0]
+        cap = sched0.budget.cap
+        guarded = sched0.budget.guarded_cap
+        reserve = sched0.reserve_w
+        emergency = measured > cap
+        headroom = guarded - measured - reserve
+        for i in range(n_lanes):
+            if thermal_margin is not None:
+                thermal = systems[i].thermal
+                if thermal.headroom_c() < thermal_margin:
+                    continue
+            scheduler = schedulers[i]
+            if not emergency[i]:
+                if not any_due[i]:
+                    continue
+                if headroom[i] <= 0.0 or len(
+                    scheduler.runner.active_sessions()
+                ) >= scheduler.max_concurrent:
+                    continue
+            crits[i].set_row(values[i].tolist(), t)
+            scheduler.measured_override = float(measured[i])
+            scheduler.tick(t, epoch)
+    else:
+        any_due = (candidate & interval_ok).any(axis=1)
+        for i in range(n_lanes):
+            if thermal_margin is not None:
+                thermal = systems[i].thermal
+                if thermal.headroom_c() < thermal_margin:
+                    continue
+            if any_due[i]:
+                schedulers[i].tick(t, epoch)

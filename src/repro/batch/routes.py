@@ -1,0 +1,67 @@
+"""Batched XY-route helpers over the process-wide link-id caches.
+
+The NoC layer already shares one route/link-id cache per mesh geometry
+across every :class:`~repro.noc.topology.Mesh` instance in the process
+(``_SHARED_ROUTE_CACHES``), so all lanes of a lockstep batch evaluate
+route costs against the same cached integer link ids.  This module adds
+the batch-side conveniences: a one-shot warmer so no lane ever populates
+a route inside the hot loop, and a dense hop matrix for vectorized
+distance/cost evaluation across a batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from repro.noc.routing import xy_link_ids
+
+#: Mesh geometries already fully warmed this process (route caches are
+#: shared per geometry, so warming is a per-geometry, not per-batch, cost).
+_WARMED: Set[Tuple[int, int]] = set()
+
+#: Dense hop matrices per geometry (see :func:`hop_matrix`).
+_HOP_MATRICES: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def warm_route_cache(mesh) -> None:
+    """Pre-fill the shared XY link-id cache for every (src, dst) pair.
+
+    Idempotent and memoized per mesh geometry: the first batch on an
+    ``WxH`` mesh pays the population cost once, every later lane and
+    batch reuses the cached integer link ids.
+    """
+    key = (mesh.width, mesh.height)
+    if key in _WARMED:
+        return
+    positions = list(mesh.positions())
+    for src in positions:
+        for dst in positions:
+            xy_link_ids(mesh, src, dst)
+    _WARMED.add(key)
+
+
+def hop_matrix(mesh) -> np.ndarray:
+    """Dense ``(N, N)`` XY hop-count matrix in ``core_id`` order.
+
+    ``hop_matrix(mesh)[a, b]`` is the number of links an XY-routed flit
+    crosses from core ``a``'s node to core ``b``'s node.  Built from the
+    same cached link-id routes the scalar NoC model uses, memoized per
+    geometry, and returned read-only — batch cost evaluation can index
+    it with whole id arrays instead of walking routes per pair.
+    """
+    key = (mesh.width, mesh.height)
+    cached = _HOP_MATRICES.get(key)
+    if cached is not None:
+        return cached
+    warm_route_cache(mesh)
+    positions = list(mesh.positions())
+    n = len(positions)
+    hops = np.zeros((n, n), dtype=np.int64)
+    for a, src in enumerate(positions):
+        for b, dst in enumerate(positions):
+            hops[a, b] = len(xy_link_ids(mesh, src, dst))
+    hops.setflags(write=False)
+    _HOP_MATRICES[key] = hops
+    return hops

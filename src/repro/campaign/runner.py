@@ -30,13 +30,18 @@ point.
 from __future__ import annotations
 
 import os
+import signal
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.batch import run_batch
 from repro.campaign.executor import (
     CampaignInterrupted,
     ExecutionStats,
     RetryPolicy,
     RobustExecutor,
+    _alarm_handler,
+    _PointTimeout,
 )
 from repro.campaign.report import CampaignReport, build_report
 from repro.campaign.spec import CampaignPoint, CampaignSpec, Cell
@@ -167,6 +172,100 @@ def plan_missing(
 
 
 # ----------------------------------------------------------------------
+# Batched execution: seed-groups as executor work items
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _PointGroup:
+    """A seed-chunk of one cell, duck-typing a point for the executor.
+
+    The executor only ever reads ``digest``/``seed``/``cell`` (failure
+    attribution) and passes the work item through to its worker, so a
+    group — digest derived from the member digests, representative
+    seed/cell from the first member — slots into the same machinery:
+    retries, timeouts and quarantine all operate at group granularity.
+    """
+
+    digest: str
+    seed: int
+    cell: Tuple[Tuple[str, object], ...]
+    points: Tuple[CampaignPoint, ...]
+
+    @staticmethod
+    def build(members: List[CampaignPoint]) -> "_PointGroup":
+        from repro.obs.provenance import digest_of
+
+        return _PointGroup(
+            digest=digest_of([point.digest for point in members]),
+            seed=members[0].seed,
+            cell=members[0].cell,
+            points=tuple(members),
+        )
+
+
+def _group_points(
+    points: List[CampaignPoint], batch: int
+) -> List["_PointGroup"]:
+    """Chunk the planner's missing points per cell, in plan order.
+
+    Points within one cell differ only in seed (that is what a cell
+    *is*), so each chunk is a valid lockstep batch; cells with fewer
+    missing points than ``batch`` simply yield smaller groups.
+    """
+    by_cell: Dict[Tuple, List[CampaignPoint]] = {}
+    order: List[Tuple] = []
+    for point in points:
+        members = by_cell.get(point.cell)
+        if members is None:
+            by_cell[point.cell] = members = []
+            order.append(point.cell)
+        members.append(point)
+    groups: List[_PointGroup] = []
+    for cell in order:
+        members = by_cell[cell]
+        for start in range(0, len(members), batch):
+            groups.append(_PointGroup.build(members[start : start + batch]))
+    return groups
+
+
+def _batched_worker(payload):
+    """Module-level batched worker (picklable); never raises.
+
+    Mirrors :func:`repro.campaign.executor.default_worker` — same
+    ``SIGALRM`` timeout enforcement, same tagged-tuple protocol — but
+    runs a whole :class:`_PointGroup` through the lockstep batch engine
+    and returns one checkpoint-ready record *per member point*, so the
+    store rows are identical to what scalar execution would have
+    written.  The timeout budget covers the whole group (one dispatch).
+    """
+    group, timeout_s = payload[0], payload[1]
+    seeds = [point.seed for point in group.points]
+    use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
+    try:
+        if use_alarm:
+            old = signal.signal(signal.SIGALRM, _alarm_handler)
+            signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        try:
+            results = run_batch(group.points[0].config, seeds)
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, old)
+        records = [
+            record_from_result(point, result)
+            for point, result in zip(group.points, results)
+        ]
+        return ("ok", group.digest, records)
+    except _PointTimeout:
+        return (
+            "err",
+            group.digest,
+            f"Timeout: batch of {len(seeds)} exceeded {timeout_s:g}s",
+        )
+    except Exception as exc:
+        return ("err", group.digest, f"{type(exc).__name__}: {exc}")
+
+
+# ----------------------------------------------------------------------
 # Run / resume / report
 # ----------------------------------------------------------------------
 def _serve_from_cache(
@@ -203,6 +302,7 @@ def run_campaign(
     worker=None,
     resume: bool = False,
     cache=None,
+    batch: Optional[int] = None,
 ) -> CampaignReport:
     """Execute a campaign to completion (or controlled interruption).
 
@@ -216,6 +316,17 @@ def run_campaign(
     crash after N newly-checkpointed results by raising
     :class:`CampaignInterrupted`.
 
+    ``batch`` (``None`` disables) consumes each cell's missing seeds as
+    whole lockstep batches of at most ``batch`` lanes per dispatch
+    (:func:`repro.batch.run_batch`).  Checkpoint rows are unchanged —
+    one record per point, digest-identical to scalar execution, so the
+    ``aggregate_digest`` cannot tell a batched campaign from a scalar
+    one.  Retries, ``timeout_s`` and quarantine operate at *group*
+    granularity (a failing group quarantines all its member points), and
+    ``interrupt_after`` counts checkpointed groups rather than single
+    results.  Incompatible with a custom ``worker``, and cache blob
+    deposits are disabled (cache *serving* still works).
+
     ``cache`` (a :class:`repro.cache.RunCache`) memoizes points across
     campaigns: before each execution wave the planner's missing points
     are probed and hits are checkpointed directly (served warm), and —
@@ -226,6 +337,11 @@ def run_campaign(
     worth crash-testing), and a custom ``worker`` disables deposits but
     still benefits from warm serving.
     """
+    if batch is not None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if worker is not None:
+            raise ValueError("batch uses its own worker; pass one or the other")
     if resume:
         spec = load_spec(campaign_dir)
     else:
@@ -234,9 +350,14 @@ def run_campaign(
         _prepare_dir(spec, campaign_dir)
     store = ResultStore(os.path.join(campaign_dir, RESULTS_FILE))
     failures = FailureLog(os.path.join(campaign_dir, FAILURES_FILE))
-    executor_kwargs = {} if worker is None else {"worker": worker}
+    if batch is not None:
+        executor_kwargs = {"worker": _batched_worker}
+    else:
+        executor_kwargs = {} if worker is None else {"worker": worker}
     cache_plan = (
-        cache.plan() if cache is not None and worker is None else None
+        cache.plan()
+        if cache is not None and worker is None and batch is None
+        else None
     )
     executor = RobustExecutor(
         jobs=jobs,
@@ -246,8 +367,13 @@ def run_campaign(
         **executor_kwargs,
     )
 
-    def on_record(point: CampaignPoint, record: Dict[str, object]) -> None:
-        store.append(record)
+    def on_record(point, record) -> None:
+        # The batched worker delivers one record per member point.
+        if isinstance(record, list):
+            for member_record in record:
+                store.append(member_record)
+        else:
+            store.append(record)
 
     def on_failure(
         point: CampaignPoint, attempt: int, error: str, quarantined: bool
@@ -265,6 +391,10 @@ def run_campaign(
 
     records = store.load()
     quarantined_digests: Set[str] = set()
+    # Group digest -> member point digests, for quarantine expansion: the
+    # planner excludes *points*, so a quarantined group must poison every
+    # member or its survivors would be replanned forever.
+    group_members: Dict[str, List[str]] = {}
     completed_this_invocation = 0
     # Wave loop: fixed mode needs one wave (plus one to observe "done");
     # sequential mode grows cells until the planner returns nothing.
@@ -277,6 +407,14 @@ def run_campaign(
             if served and not missing:
                 records = store.load()
                 continue
+        if batch is not None:
+            work_items = _group_points(missing, batch)
+            for group in work_items:
+                group_members[group.digest] = [
+                    point.digest for point in group.points
+                ]
+        else:
+            work_items = missing
         remaining_interrupt = (
             None
             if interrupt_after is None
@@ -284,7 +422,7 @@ def run_campaign(
         )
         try:
             stats: ExecutionStats = executor.run(
-                missing,
+                work_items,
                 on_record=on_record,
                 on_failure=on_failure,
                 interrupt_after=remaining_interrupt,
@@ -297,7 +435,10 @@ def run_campaign(
                 completed_this_invocation + exc.completed
             ) from None
         completed_this_invocation += stats.completed
-        quarantined_digests |= {q.digest for q in stats.quarantined}
+        for failure in stats.quarantined:
+            quarantined_digests |= set(
+                group_members.get(failure.digest, [failure.digest])
+            )
         records = store.load()
     report = build_report(
         spec, records, quarantined=failures.quarantined(records)

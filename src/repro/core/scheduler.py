@@ -67,6 +67,11 @@ class PowerAwareTestScheduler(TestSchedulerBase):
         self.skipped_no_budget = 0
         self.downgraded_levels = 0
         self.emergency_aborts = 0
+        #: One-shot measured-power injection for drivers that already read
+        #: the meter this epoch (the lockstep batch runner): consumed and
+        #: cleared by the next :meth:`tick`, which otherwise reads the
+        #: meter itself.  ``None`` means "read the meter" (the default).
+        self.measured_override: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Candidate selection
@@ -108,7 +113,9 @@ class PowerAwareTestScheduler(TestSchedulerBase):
     # ------------------------------------------------------------------
     def tick(self, now: float, dt: float) -> None:
         journal = self.journal
-        measured = self.meter.chip_power()
+        override = self.measured_override
+        self.measured_override = None
+        measured = self.meter.chip_power() if override is None else override
         if measured > self.budget.cap:
             aborted = self._emergency(measured)
             if journal.enabled:

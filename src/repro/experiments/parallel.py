@@ -12,6 +12,10 @@ byte-identical :class:`~repro.core.system.SimulationResult` data.
 falls back to the plain serial loop (no pool, no pickling), so callers
 can thread a ``--jobs`` flag straight through without special-casing.
 Results always come back in input order regardless of completion order.
+``batch_size=`` additionally routes seed-replica groups through the
+lockstep batch engine (``repro.batch``), one whole seed-chunk per
+worker dispatch — the batched results are digest-identical to scalar
+runs, so the choice is purely a throughput knob.
 
 A failing run raises :class:`RunFailed` carrying the index and config
 digest of the offender, in both the serial and the pooled path — a bare
@@ -35,9 +39,11 @@ carry the observability stream of the run it skipped.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Tuple
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.batch import run_batch
 from repro.core.system import SimulationResult, SystemConfig, run_system
 from repro.obs.provenance import config_digest
 
@@ -73,6 +79,106 @@ def _run_one(payload: Tuple[int, SystemConfig]):
         )
 
 
+def _run_chunk(payload: Tuple[List[int], SystemConfig, List[int]]):
+    """Module-level batched worker (picklable); mirrors :func:`_run_one`.
+
+    Runs one seed-chunk through the lockstep batch engine and returns the
+    per-seed results together with the original sweep indices, so the
+    parent can slot them into place no matter in which order the pool's
+    futures complete.
+    """
+    indices, config, seeds = payload
+    try:
+        return ("ok", indices, run_batch(config, seeds))
+    except Exception as exc:
+        return (
+            "err",
+            indices,
+            config_digest(replace(config, seed=seeds[0])),
+            f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _seed_chunks(
+    config_list: List[SystemConfig],
+    indices: List[int],
+    batch_size: int,
+) -> List[List[int]]:
+    """Partition ``indices`` into lockstep-compatible seed chunks.
+
+    Configs are grouped by everything-but-seed (the digest of the config
+    with its seed pinned) and each group is chunked, in input order, into
+    runs of at most ``batch_size`` — only seed-replicas of the *same*
+    config may share a lockstep batch.  Heterogeneous sweeps degrade
+    gracefully to one-lane chunks.
+    """
+    groups: Dict[str, List[int]] = {}
+    order: List[str] = []
+    for index in indices:
+        key = config_digest(replace(config_list[index], seed=0))
+        members = groups.get(key)
+        if members is None:
+            groups[key] = members = []
+            order.append(key)
+        members.append(index)
+    chunks: List[List[int]] = []
+    for key in order:
+        members = groups[key]
+        for start in range(0, len(members), batch_size):
+            chunks.append(members[start : start + batch_size])
+    return chunks
+
+
+def _run_batched(
+    config_list: List[SystemConfig],
+    indices: List[int],
+    jobs: Optional[int],
+    batch_size: int,
+) -> List[SimulationResult]:
+    """Run the configs at ``indices`` as lockstep seed-chunks.
+
+    Results come back in ``indices`` order regardless of pool completion
+    order: every chunk carries its original indices, the supervisor slots
+    completed chunks into a dense table, and error attribution is
+    deterministic too (the failing chunk with the smallest leading index
+    wins when several fail at once).
+    """
+    chunks = _seed_chunks(config_list, indices, batch_size)
+    by_index: Dict[int, SimulationResult] = {}
+    if not jobs or jobs == 1 or len(chunks) <= 1:
+        for chunk in chunks:
+            config = config_list[chunk[0]]
+            seeds = [config_list[i].seed for i in chunk]
+            try:
+                chunk_results = run_batch(config, seeds)
+            except Exception as exc:
+                raise RunFailed(
+                    chunk[0],
+                    config_digest(config),
+                    f"{type(exc).__name__}: {exc}",
+                ) from exc
+            by_index.update(zip(chunk, chunk_results))
+        return [by_index[i] for i in indices]
+    payloads = [
+        (chunk, config_list[chunk[0]], [config_list[i].seed for i in chunk])
+        for chunk in chunks
+    ]
+    workers = min(jobs, len(payloads))
+    failures: List[Tuple[int, str, str]] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_run_chunk, payload) for payload in payloads]
+        for future in as_completed(futures):
+            outcome = future.result()
+            if outcome[0] == "err":
+                failures.append((outcome[1][0], outcome[2], outcome[3]))
+            else:
+                by_index.update(zip(outcome[1], outcome[2]))
+    if failures:
+        index, digest, error = min(failures)
+        raise RunFailed(index, digest, error)
+    return [by_index[i] for i in indices]
+
+
 def _resolve_cache(cache, n_configs: int):
     """Effective cache for one call: explicit arg, else process default.
 
@@ -99,8 +205,11 @@ def _run_indexed(
     config_list: List[SystemConfig],
     indices: List[int],
     jobs: Optional[int],
+    batch_size: Optional[int] = None,
 ) -> List[SimulationResult]:
     """Run the configs at ``indices``; failures keep original indices."""
+    if batch_size is not None:
+        return _run_batched(config_list, indices, jobs, batch_size)
     if not jobs or jobs == 1 or len(indices) <= 1:
         results = []
         for index in indices:
@@ -130,30 +239,45 @@ def run_many(
     configs: Iterable[SystemConfig],
     jobs: Optional[int] = None,
     cache=None,
+    batch_size: Optional[int] = None,
 ) -> List[SimulationResult]:
     """Run every config, optionally across ``jobs`` worker processes.
 
     ``jobs=None`` (or ``0``/``1``) runs serially in-process.  Results are
     returned in the order of ``configs`` and are identical to a serial
-    run: each simulation is deterministic given its config, and
-    ``ProcessPoolExecutor.map`` preserves input order.
+    run: each simulation is deterministic given its config, and both
+    pooled paths reassemble results by original index.
+
+    ``batch_size`` (``None`` disables) routes the runs through the
+    lockstep batch engine (:func:`repro.batch.run_batch`): configs that
+    differ only in seed are grouped into chunks of at most
+    ``batch_size`` lanes, and with ``jobs`` each worker process advances
+    one whole chunk.  Chunk futures complete in whatever order the pool
+    likes; ordering stays deterministic because every chunk carries its
+    original sweep indices.  Batched results are digest-identical to
+    scalar runs (that is the batch engine's contract), so serial, pooled
+    and batched sweeps all produce the same rows.
 
     ``cache`` (a :class:`repro.cache.RunCache`; defaults to the process
     default, if any) memoizes results by salted config digest — hits
-    are served without running, misses are computed (pooled if asked)
-    and stored by the supervisor.  Results are identical with the cache
-    on, off, warm or cold.
+    are served without running, misses are computed (pooled/batched if
+    asked) and stored by the supervisor.  Results are identical with the
+    cache on, off, warm or cold.
 
     Raises :class:`RunFailed` (with the failing config's index and
     digest) if any run fails; nothing is cached for a failing sweep.
+    For a batched sweep the failure is attributed to the failing chunk's
+    first config, deterministically (smallest index wins across chunks).
     """
     config_list = list(configs)
     if jobs is not None and jobs < 0:
         raise ValueError(f"jobs must be non-negative, got {jobs}")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     cache = _resolve_cache(cache, len(config_list))
     if cache is None:
         return _run_indexed(
-            config_list, list(range(len(config_list))), jobs
+            config_list, list(range(len(config_list))), jobs, batch_size
         )
     results: List[Optional[SimulationResult]] = [None] * len(config_list)
     miss_indices: List[int] = []
@@ -164,7 +288,7 @@ def run_many(
         else:
             miss_indices.append(index)
     if miss_indices:
-        fresh = _run_indexed(config_list, miss_indices, jobs)
+        fresh = _run_indexed(config_list, miss_indices, jobs, batch_size)
         for index, result in zip(miss_indices, fresh):
             cache.put_result(config_list[index], result)
             results[index] = result

@@ -1,0 +1,259 @@
+"""Tests for the lockstep batch engine (``repro.batch``).
+
+The contract pinned here is the one every batched entry point rests on:
+**the scalar engine is the oracle**.  ``run_batch(config, seeds)`` must
+be digest-identical, per seed, to running each seed through
+``run_system`` — across policies, mappers, fault injection and odd
+epoch/horizon grids — and the batched ``run_many``/``run_campaign``
+paths must produce byte-identical sweeps regardless of worker count or
+chunk completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.batch import (
+    BatchArrays,
+    BatchShapeError,
+    as_seed_array,
+    hop_matrix,
+    result_digest,
+    run_batch,
+    warm_route_cache,
+)
+from repro.campaign import CampaignSpec, run_campaign
+from repro.core.system import SystemConfig, run_system
+from repro.experiments.parallel import RunFailed, run_many
+from repro.noc.topology import Mesh
+from repro.noc.routing import xy_link_ids
+
+
+def small_config(**overrides) -> SystemConfig:
+    base = {
+        "width": 4,
+        "height": 4,
+        "horizon_us": 2000.0,
+        "arrival_rate_per_ms": 8.0,
+        "seed": 1,
+    }
+    base.update(overrides)
+    return SystemConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# The oracle contract
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=10_000),
+        min_size=1,
+        max_size=4,
+        unique=True,
+    ),
+    test_policy=st.sampled_from(["power-aware", "none", "unaware"]),
+    mapper=st.sampled_from(["contiguous", "scatter", "test-aware"]),
+    power_policy=st.sampled_from(["pid", "tsp", "none"]),
+    thermal=st.booleans(),
+    hazard=st.sampled_from([0.0, 2e-4]),
+)
+def test_run_batch_digest_equals_scalar_runs(
+    seeds, test_policy, mapper, power_policy, thermal, hazard
+):
+    """Every lane digest-equals its scalar twin on random small configs."""
+    config = small_config(
+        test_policy=test_policy,
+        mapper=mapper,
+        power_policy=power_policy,
+        thermal_enabled=thermal,
+        fault_hazard_per_us=hazard,
+    )
+    batched = run_batch(config, seeds)
+    assert len(batched) == len(seeds)
+    for seed, result in zip(seeds, batched):
+        scalar = run_system(replace(config, seed=seed))
+        assert result_digest(result) == result_digest(scalar)
+
+
+def test_run_batch_matches_scalar_on_odd_grid():
+    """Epoch/horizon grids that do not divide evenly still align."""
+    config = small_config(epoch_us=73.0, horizon_us=1537.0)
+    seeds = [5, 9]
+    batched = run_batch(config, seeds)
+    for seed, result in zip(seeds, batched):
+        scalar = run_system(replace(config, seed=seed))
+        assert result_digest(result) == result_digest(scalar)
+
+
+def test_run_batch_accepts_ndarray_seeds():
+    config = small_config(horizon_us=1000.0)
+    from_list = run_batch(config, [3, 8])
+    from_array = run_batch(config, np.array([3, 8]))
+    assert [result_digest(r) for r in from_list] == [
+        result_digest(r) for r in from_array
+    ]
+
+
+# ----------------------------------------------------------------------
+# Shape/dtype validation
+# ----------------------------------------------------------------------
+def test_seed_array_rejects_2d():
+    with pytest.raises(BatchShapeError, match="1-D"):
+        as_seed_array(np.array([[1, 2], [3, 4]]))
+
+
+def test_seed_array_rejects_empty():
+    with pytest.raises(BatchShapeError, match="at least one seed"):
+        as_seed_array([])
+
+
+def test_seed_array_rejects_float_and_bool_dtypes():
+    with pytest.raises(TypeError, match="integer dtype"):
+        as_seed_array([1.5, 2.0])
+    with pytest.raises(TypeError, match="integer dtype"):
+        as_seed_array(np.array([True, False]))
+
+
+def test_run_batch_propagates_seed_validation():
+    config = small_config()
+    with pytest.raises(BatchShapeError):
+        run_batch(config, [])
+    with pytest.raises(TypeError):
+        run_batch(config, [1.0, 2.0])
+
+
+def test_batch_arrays_validate_dimensions():
+    with pytest.raises(TypeError, match="ints"):
+        BatchArrays(2.0, 16)
+    with pytest.raises(BatchShapeError, match="at least one lane"):
+        BatchArrays(0, 16)
+    with pytest.raises(BatchShapeError, match="at least one lane"):
+        BatchArrays(2, 0)
+
+
+def test_batch_arrays_shapes_follow_leading_batch_axis():
+    arrays = BatchArrays(3, 16)
+    assert arrays.stress.shape == (3, 16)
+    assert arrays.candidate.shape == (3, 16)
+    assert arrays.candidate.dtype == bool
+    assert arrays.measured.shape == (3,)
+    assert arrays.pid_integral.shape == (3,)
+
+
+def test_gather_criticality_rejects_wrong_chip():
+    arrays = BatchArrays(1, 16)
+    with pytest.raises(BatchShapeError, match="expects"):
+        arrays.gather_criticality(0, [object()] * 9)
+
+
+# ----------------------------------------------------------------------
+# Route helpers
+# ----------------------------------------------------------------------
+def test_hop_matrix_matches_cached_routes():
+    mesh = Mesh(4, 4)
+    warm_route_cache(mesh)
+    hops = hop_matrix(mesh)
+    positions = list(mesh.positions())
+    assert hops.shape == (16, 16)
+    for a, src in enumerate(positions):
+        for b, dst in enumerate(positions):
+            assert hops[a, b] == len(xy_link_ids(mesh, src, dst))
+    with pytest.raises(ValueError):
+        hops[0, 0] = 99  # returned read-only
+
+
+# ----------------------------------------------------------------------
+# run_many: serial == pooled == batched (satellite determinism pin)
+# ----------------------------------------------------------------------
+def test_run_many_batched_matches_serial_and_pooled():
+    """One sweep, four execution modes, one list of digests."""
+    config = small_config(horizon_us=1500.0)
+    configs = [replace(config, seed=s) for s in (1, 2, 3, 4, 5)]
+    serial = run_many(configs)
+    expected = [result_digest(r) for r in serial]
+    for kwargs in (
+        {"jobs": 2},
+        {"batch_size": 2},
+        {"jobs": 2, "batch_size": 2},
+    ):
+        results = run_many(configs, **kwargs)
+        assert [result_digest(r) for r in results] == expected
+
+
+def test_run_many_batched_handles_mixed_config_groups():
+    """Only seed-replicas of the same config may share a lockstep chunk."""
+    a = small_config(horizon_us=1200.0)
+    b = small_config(horizon_us=1200.0, test_policy="none")
+    configs = [
+        replace(a, seed=1),
+        replace(b, seed=1),
+        replace(a, seed=2),
+        replace(b, seed=2),
+    ]
+    serial = [result_digest(r) for r in run_many(configs)]
+    batched = [result_digest(r) for r in run_many(configs, batch_size=4)]
+    pooled = [
+        result_digest(r) for r in run_many(configs, jobs=2, batch_size=2)
+    ]
+    assert batched == serial
+    assert pooled == serial
+
+
+def test_run_many_batched_failure_attribution_is_deterministic():
+    """The failing chunk's first sweep index is reported, serial or pooled."""
+    good = small_config(horizon_us=1000.0)
+    bad = small_config(horizon_us=1000.0, mapper="nope")
+    configs = [replace(good, seed=1), replace(good, seed=2), bad]
+    for kwargs in ({"batch_size": 2}, {"jobs": 2, "batch_size": 1}):
+        with pytest.raises(RunFailed) as excinfo:
+            run_many(configs, **kwargs)
+        assert excinfo.value.index == 2
+
+
+def test_run_many_rejects_bad_batch_size():
+    with pytest.raises(ValueError, match="batch_size"):
+        run_many([small_config()], batch_size=0)
+
+
+# ----------------------------------------------------------------------
+# Campaign batching
+# ----------------------------------------------------------------------
+def _campaign_spec() -> CampaignSpec:
+    return CampaignSpec.from_dict(
+        {
+            "name": "batch-test",
+            "base": {
+                "width": 4,
+                "height": 4,
+                "horizon_us": 1500.0,
+                "arrival_rate_per_ms": 8.0,
+            },
+            "grid": {"test_policy": ["power-aware", "none"]},
+            "seeds": {"start": 1, "count": 3},
+        }
+    )
+
+
+def test_campaign_batched_aggregate_matches_scalar(tmp_path):
+    scalar = run_campaign(str(tmp_path / "scalar"), spec=_campaign_spec())
+    batched = run_campaign(
+        str(tmp_path / "batched"), spec=_campaign_spec(), batch=3
+    )
+    assert batched.aggregate == scalar.aggregate
+
+
+def test_campaign_batch_validation(tmp_path):
+    with pytest.raises(ValueError, match="batch"):
+        run_campaign(str(tmp_path / "a"), spec=_campaign_spec(), batch=0)
+    with pytest.raises(ValueError, match="worker"):
+        run_campaign(
+            str(tmp_path / "b"),
+            spec=_campaign_spec(),
+            batch=2,
+            worker=lambda payload: None,
+        )

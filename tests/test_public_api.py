@@ -21,6 +21,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.aging",
+    "repro.batch",
     "repro.cache",
     "repro.campaign",
     "repro.core",
