@@ -20,9 +20,14 @@ argument plumbing, exit codes and the manifest path are exercised too:
    through;
 4. the two manifests' ``aggregate_digest`` values must be equal.
 
-``--artifacts DIR`` copies the resumed campaign's manifest and
-checkpoint store there for CI artifact upload.  Exit status is non-zero
-on any step failure or digest mismatch.
+Along the way the telemetry status surface is exercised too: after the
+kill, ``campaign status`` must exit 0 and report the campaign as
+``interrupted``; after the resume it must report ``complete``.
+
+``--artifacts DIR`` copies the resumed campaign's manifest, checkpoint
+store and telemetry exports (``status.json``/``telemetry.prom``/
+``telemetry.json``) there for CI artifact upload.  Exit status is
+non-zero on any step failure or digest mismatch.
 
 Usage::
 
@@ -100,11 +105,31 @@ def main() -> int:
         )
         return 1
 
+    proc = _cli("campaign", "status", str(interrupted))
+    _step("status after the kill", proc, want_rc=0)
+    if "[interrupted]" not in proc.stdout:
+        print(
+            "FAIL: status after the kill does not say interrupted:\n"
+            + proc.stdout,
+            file=sys.stderr,
+        )
+        return 1
+
     _step(
         "resume to completion",
         _cli("campaign", "resume", str(interrupted), *common),
         want_rc=0,
     )
+
+    proc = _cli("campaign", "status", str(interrupted))
+    _step("status after the resume", proc, want_rc=0)
+    if "[complete]" not in proc.stdout:
+        print(
+            "FAIL: status after the resume does not say complete:\n"
+            + proc.stdout,
+            file=sys.stderr,
+        )
+        return 1
     _step(
         "uninterrupted control run",
         _cli("campaign", "run", str(SPEC), "--dir", str(straight), *common),
@@ -126,7 +151,14 @@ def main() -> int:
     if args.artifacts:
         dest = Path(args.artifacts)
         dest.mkdir(parents=True, exist_ok=True)
-        for name in ("manifest.json", "results.jsonl", "spec.json"):
+        for name in (
+            "manifest.json",
+            "results.jsonl",
+            "spec.json",
+            "status.json",
+            "telemetry.prom",
+            "telemetry.json",
+        ):
             shutil.copy(interrupted / name, dest / name)
         print(f"[ok]   artifacts copied to {dest}")
     return 0

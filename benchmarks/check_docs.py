@@ -9,7 +9,7 @@ Two independent gates, both stdlib-only:
   anchors on relative links are stripped before the existence check).
 
 * **Docstring lint** — every public module, class, function, and public
-  method under the lint roots (``repro.cache``, ``repro.campaign``,
+  method under the lint roots (``repro.cache``, ``repro.campaign``, ``repro.telemetry``,
   ``repro.obs``, ``repro.verify``) must carry a docstring.  "Public" means: reachable via
   a name that does not start with ``_``.  Inherited members defined
   outside the linted package are not re-linted.
@@ -31,7 +31,13 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Packages whose public surface must be fully docstring'd.
-LINT_ROOTS = ["repro.cache", "repro.campaign", "repro.obs", "repro.verify"]
+LINT_ROOTS = [
+    "repro.cache",
+    "repro.campaign",
+    "repro.obs",
+    "repro.telemetry",
+    "repro.verify",
+]
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _EXTERNAL = ("http://", "https://", "mailto:")

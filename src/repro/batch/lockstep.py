@@ -55,6 +55,7 @@ from repro.core.system import (
 )
 from repro.obs import active_journal, active_profiler
 from repro.obs.provenance import digest_of
+from repro.telemetry import active_telemetry
 from repro.platform.core import CoreState
 from repro.power.manager import PIDPowerManager
 from repro.testing.schedulers import NoTestScheduler
@@ -161,13 +162,26 @@ def run_batch(config: SystemConfig, seeds) -> List[SimulationResult]:
     When a process-wide journal or profiler is active the call falls
     back to the scalar engine per seed — observability streams are
     per-run and cannot be interleaved across lanes — so results are
-    identical either way.
+    identical either way.  An active telemetry registry does **not**
+    force the fallback: counters and gauges merge order-independently,
+    so the batch path maintains them at the same choke points as the
+    scalar engine (pinned by the snapshot-identity tests).
     """
     seed_list = [int(s) for s in as_seed_array(seeds)]
     if active_journal().enabled or active_profiler().enabled:
         return [run_system(replace(config, seed=s)) for s in seed_list]
     lanes = [_Lane(replace(config, seed=s)) for s in seed_list]
     _drive(config, lanes)
+    tm = active_telemetry()
+    if tm.enabled:
+        tm.counter("batch.dispatches").inc()
+        tm.counter("batch.lanes").inc(len(lanes))
+        tm.histogram("batch.lane_width").observe(float(len(lanes)))
+        runs = tm.counter("sim.runs")
+        events = tm.counter("sim.events")
+        for lane in lanes:
+            runs.inc()
+            events.inc(lane.system.sim.events_fired)
     return [lane.system._collect_result() for lane in lanes]
 
 
@@ -263,6 +277,17 @@ def _drive(config: SystemConfig, lanes: List[_Lane]) -> None:
     thermal_on = lanes[0].system.thermal is not None
     thermal_margin = config.thermal_test_margin_c
 
+    # Telemetry: every lane resolved the same process-active registry at
+    # construction, so the per-name metric handles are shared objects —
+    # hoist them once.  The batched epoch pass below touches them at the
+    # same points the scalar ``_control_tick`` does.
+    tm_on = systems[0].telemetry.enabled
+    if tm_on:
+        tm_epochs = systems[0]._tm_epochs
+        tm_measured = systems[0]._tm_measured
+        tm_headroom = systems[0]._tm_headroom
+        budget0 = systems[0].budget
+
     # The scalar grid: ``sim.every`` fires first at now(0)+epoch and each
     # tick reschedules at its own (float) fire time + epoch, so the grid
     # is the same left-to-right float accumulation as this loop.
@@ -351,7 +376,12 @@ def _drive(config: SystemConfig, lanes: List[_Lane]) -> None:
             # wrapper around ``_try_map`` is skipped outright.
             systems[i]._try_map_impl()
             metrics = metrics_list[i]
-            metrics.sample_power(t, meters[i].breakdown())
+            breakdown = meters[i].breakdown()
+            if tm_on:
+                tm_epochs.inc()
+                tm_measured.set(breakdown.total)
+                tm_headroom.set(budget0.headroom(breakdown.total))
+            metrics.sample_power(t, breakdown)
             state_ids = chips[i].state_ids
             metrics.sample_counts(
                 t,
@@ -398,7 +428,10 @@ def _scheduler_phase(
     emergency or some candidate core is due *and* headroom/slots exist;
     a baseline tick is a no-op unless some candidate core's interval
     has elapsed.  (With the journal off — guaranteed on the batch path —
-    the skipped branches emit nothing either.)
+    the skipped branches emit nothing either; with telemetry on, a skip
+    that replaces a counting early-return of the scalar ``tick`` adds
+    the identical ``test.defer.*`` counts itself, so merged snapshots
+    cannot tell the paths apart.)
 
     The ``stress``/``last_test_end`` arrays are already current (they are
     maintained incrementally, see :class:`_RowAgingModel` and
@@ -459,6 +492,18 @@ def _scheduler_phase(
                 if headroom[i] <= 0.0 or len(
                     scheduler.runner.active_sessions()
                 ) >= scheduler.max_concurrent:
+                    tm = scheduler.telemetry
+                    if tm.enabled:
+                        # The scalar tick's early-return defers every due
+                        # core; the due mask is that candidate set.
+                        n_due = int(arrays.due[i].sum())
+                        if n_due:
+                            reason = (
+                                "no-headroom"
+                                if headroom[i] <= 0.0
+                                else "max-concurrent"
+                            )
+                            tm.counter("test.defer." + reason).inc(n_due)
                     continue
             crits[i].set_row(values[i].tolist(), t)
             scheduler.measured_override = float(measured[i])

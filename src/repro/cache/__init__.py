@@ -47,6 +47,7 @@ from repro.cache.keys import (
 )
 from repro.cache.store import ContentStore, blob_digest, write_blob
 from repro.obs.journal import NULL_JOURNAL, Journal
+from repro.telemetry.registry import NULL_TELEMETRY, MetricsRegistry
 
 #: Pickle protocol pinned for blob stability within one schema version.
 _PICKLE_PROTOCOL = 4
@@ -145,11 +146,23 @@ class RunCache:
         self.store = ContentStore(self.cache_dir, max_bytes=max_bytes)
         self.stats = CacheStats()
         self.journal = journal if journal is not None else NULL_JOURNAL
+        self.telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
+    def bind_telemetry(self, registry: MetricsRegistry) -> None:
+        """Mirror cache traffic into ``cache.*`` counters of ``registry``.
+
+        Campaign/sweep supervisors bind their local registry here; the
+        default stays the null sink so plain cache use costs nothing.
+        """
+        self.telemetry = registry
+
     def _emit(self, kind: str, **data: object) -> None:
         if self.journal.enabled:
             self.journal.emit(f"cache.{kind}", 0.0, **data)
+
+    def _count(self, kind: str, n: int = 1) -> None:
+        self.telemetry.counter(f"cache.{kind}").inc(n)
 
     def key_for(self, config: object) -> str:
         """The cache key of one config under this cache's salt."""
@@ -167,9 +180,11 @@ class RunCache:
         if status == "corrupt":
             self.stats.corrupt += 1
             self._emit("corrupt", key=key)
+            self._count("corrupt")
         if data is None:
             self.stats.misses += 1
             self._emit("miss", key=key)
+            self._count("misses")
             return None
         try:
             result = pickle.loads(data)
@@ -180,9 +195,12 @@ class RunCache:
             self.stats.corrupt += 1
             self.stats.misses += 1
             self._emit("corrupt", key=key)
+            self._count("corrupt")
+            self._count("misses")
             return None
         self.stats.hits += 1
         self._emit("hit", key=key)
+        self._count("hits")
         return result
 
     def put_result(self, config: object, result: object) -> str:
@@ -193,6 +211,7 @@ class RunCache:
         self.stats.puts += 1
         self._note_evicted(evicted)
         self._emit("put", key=key, size=len(data))
+        self._count("puts")
         return key
 
     def adopt(self, key: str, blob: str, size: int) -> None:
@@ -201,16 +220,19 @@ class RunCache:
         self.stats.puts += 1
         self._note_evicted(evicted)
         self._emit("put", key=key, size=size)
+        self._count("puts")
 
     def _note_evicted(self, evicted) -> None:
         for key in evicted:
             self.stats.evictions += 1
             self._emit("evict", key=key)
+            self._count("evictions")
 
     def note_bypass(self, n: int = 1, reason: str = "") -> None:
         """Count ``n`` lookups that were deliberately not served."""
         self.stats.bypasses += n
         self._emit("bypass", n=n, reason=reason)
+        self._count("bypasses", n)
 
     def get_or_run(
         self, config: object, runner: Optional[Callable] = None

@@ -38,6 +38,8 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from repro.campaign.spec import CampaignPoint
 from repro.campaign.store import record_from_result
 from repro.core.system import run_system
+from repro.telemetry import worker_telemetry
+from repro.telemetry.registry import NULL_TELEMETRY
 
 
 class CampaignInterrupted(RuntimeError):
@@ -126,11 +128,13 @@ def default_worker(payload):
     """Module-level worker (picklable): never raises, always attributes.
 
     ``payload`` is ``(point, timeout_s)`` or, when result caching is on,
-    ``(point, timeout_s, cache_plan)``.  Returns ``("ok", digest,
-    record)`` — with a trailing cache-entry dict when a plan was given
-    and the blob deposit succeeded — or ``("err", digest, error)``, so
-    a failure inside a pooled run can be tied back to its point without
-    poisoning the pool's result stream.
+    ``(point, timeout_s, cache_plan)`` — plus a trailing
+    :class:`~repro.telemetry.spans.SpanContext` when the campaign
+    collects telemetry, in which case the ok-outcome grows to ``("ok",
+    digest, record, entry_or_None, telemetry_blob)``.  Without
+    telemetry the legacy forms ``("ok", digest, record[, entry])`` and
+    ``("err", digest, error)`` are returned unchanged, so custom
+    workers and old tests keep working.
 
     With a :class:`repro.cache.CachePlan` the worker deposits the
     pickled result as a content-addressed blob (atomic, collision-free
@@ -141,9 +145,14 @@ def default_worker(payload):
     """
     point, timeout_s = payload[0], payload[1]
     cache_plan = payload[2] if len(payload) > 2 else None
+    ctx = payload[3] if len(payload) > 3 else None
     try:
-        result = _run_point(point, timeout_s)
+        with worker_telemetry(
+            ctx, point.digest[:12], "campaign.point"
+        ) as scope:
+            result = _run_point(point, timeout_s)
         record = record_from_result(point, result)
+        entry = None
         if cache_plan is not None:
             from repro.cache import store_result_blob
 
@@ -151,6 +160,9 @@ def default_worker(payload):
                 entry = store_result_blob(cache_plan, point.config, result)
             except Exception:
                 entry = None
+        if scope is not None:
+            return ("ok", point.digest, record, entry, scope.blob())
+        if cache_plan is not None:
             return ("ok", point.digest, record, entry)
         return ("ok", point.digest, record)
     except _PointTimeout:
@@ -187,6 +199,8 @@ class RobustExecutor:
         timeout_s: Optional[float] = None,
         worker: Callable = default_worker,
         cache_plan=None,
+        telemetry=None,
+        telemetry_ctx=None,
     ) -> None:
         if jobs is not None and jobs < 0:
             raise ValueError(f"jobs must be non-negative, got {jobs}")
@@ -199,9 +213,21 @@ class RobustExecutor:
         #: blobs; custom workers that unpack two elements should only be
         #: combined with ``cache_plan=None`` (the default).
         self.cache_plan = cache_plan
+        #: Supervisor-side registry for the executor's own machinery
+        #: metrics (``exec.*``: retries, quarantines, queue depth) — a
+        #: no-op sink by default.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Optional :class:`~repro.telemetry.spans.SpanContext`.  When
+        #: set, payloads grow a fourth element and telemetry-aware
+        #: workers return a blob; leave ``None`` for custom workers
+        #: that unpack fixed-size payloads.
+        self.telemetry_ctx = telemetry_ctx
         self._on_cache_entry: Optional[OnCacheEntry] = None
+        self._on_telemetry = None
 
     def _payload(self, point: CampaignPoint):
+        if self.telemetry_ctx is not None:
+            return (point, self.timeout_s, self.cache_plan, self.telemetry_ctx)
         if self.cache_plan is None:
             return (point, self.timeout_s)
         return (point, self.timeout_s, self.cache_plan)
@@ -214,6 +240,7 @@ class RobustExecutor:
         on_failure: Optional[OnFailure] = None,
         interrupt_after: Optional[int] = None,
         on_cache_entry: Optional[OnCacheEntry] = None,
+        on_telemetry=None,
     ) -> ExecutionStats:
         """Run every point; deliver records/failures through callbacks.
 
@@ -226,11 +253,15 @@ class RobustExecutor:
         ``on_cache_entry`` receives ``(point, entry_dict)`` for every
         completed point whose worker deposited a cache blob (requires
         ``cache_plan``); the supervisor-side callback owns the index.
+
+        ``on_telemetry`` receives the telemetry blob of every completed
+        point (requires ``telemetry_ctx``) for the supervisor to merge.
         """
         stats = ExecutionStats()
         if not points:
             return stats
         self._on_cache_entry = on_cache_entry
+        self._on_telemetry = on_telemetry
         if self.jobs <= 1 or len(points) == 1:
             self._run_serial(
                 points, stats, on_record, on_failure, interrupt_after
@@ -264,8 +295,15 @@ class RobustExecutor:
                 self._on_cache_entry(entry.point, outcome[3])
             except Exception:
                 pass  # memoization must never fail a completed run
+        if (
+            self._on_telemetry is not None
+            and len(outcome) > 4
+            and outcome[4] is not None
+        ):
+            self._on_telemetry(outcome[4])
         on_record(entry.point, outcome[2])
         stats.completed += 1
+        self.telemetry.counter("exec.completed").inc()
         if interrupt_after is not None and stats.completed >= interrupt_after:
             raise CampaignInterrupted(stats.completed)
 
@@ -292,8 +330,10 @@ class RobustExecutor:
                     errors=list(entry.errors),
                 )
             )
+            self.telemetry.counter("exec.quarantined").inc()
             return False
         stats.retried += 1
+        self.telemetry.counter("exec.retries").inc()
         entry.eligible_at = (
             time.monotonic() + self.retry.delay_s(entry.failures)
         )
@@ -348,6 +388,9 @@ class RobustExecutor:
         try:
             while pending or inflight:
                 now = time.monotonic()
+                self.telemetry.gauge("exec.queue_depth").set(
+                    float(len(pending) + len(inflight))
+                )
                 # Submit every eligible point up to pool capacity.
                 still_waiting: List[_Pending] = []
                 for entry in pending:
@@ -361,6 +404,7 @@ class RobustExecutor:
                             )
                         except BrokenProcessPool:
                             pool = self._rebuild_pool(pool, workers)
+                            self.telemetry.counter("exec.pool_rebuilds").inc()
                             still_waiting.append(entry)
                             continue
                         inflight[future] = (entry, now)
@@ -425,6 +469,7 @@ class RobustExecutor:
                             pending.append(entry)
                     inflight.clear()
                     pool = self._rebuild_pool(pool, workers)
+                    self.telemetry.counter("exec.pool_rebuilds").inc()
                     continue
                 if wedge_after is not None:
                     now = time.monotonic()
@@ -453,6 +498,7 @@ class RobustExecutor:
                         inflight.clear()
                         pool.shutdown(wait=False, cancel_futures=True)
                         pool = ProcessPoolExecutor(max_workers=workers)
+                        self.telemetry.counter("exec.pool_rebuilds").inc()
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 

@@ -55,6 +55,9 @@ from repro.campaign.store import (
     record_from_result,
 )
 from repro.metrics.stats import halfwidth_met
+from repro.telemetry import TelemetrySession, worker_telemetry
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.status import CampaignStatusWriter
 
 
 def _spec_path(campaign_dir: str) -> str:
@@ -236,8 +239,15 @@ def _batched_worker(payload):
     and returns one checkpoint-ready record *per member point*, so the
     store rows are identical to what scalar execution would have
     written.  The timeout budget covers the whole group (one dispatch).
+
+    Payload layout matches the executor's: ``(group, timeout_s)`` plus
+    an always-``None`` cache-plan slot and a trailing
+    :class:`~repro.telemetry.spans.SpanContext` when the campaign
+    collects telemetry (then the ok-outcome grows to ``("ok", digest,
+    records, None, telemetry_blob)``).
     """
     group, timeout_s = payload[0], payload[1]
+    ctx = payload[3] if len(payload) > 3 else None
     seeds = [point.seed for point in group.points]
     use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
     try:
@@ -245,7 +255,10 @@ def _batched_worker(payload):
             old = signal.signal(signal.SIGALRM, _alarm_handler)
             signal.setitimer(signal.ITIMER_REAL, timeout_s)
         try:
-            results = run_batch(group.points[0].config, seeds)
+            with worker_telemetry(
+                ctx, group.digest[:12], "campaign.batch"
+            ) as scope:
+                results = run_batch(group.points[0].config, seeds)
         finally:
             if use_alarm:
                 signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -254,6 +267,8 @@ def _batched_worker(payload):
             record_from_result(point, result)
             for point, result in zip(group.points, results)
         ]
+        if scope is not None:
+            return ("ok", group.digest, records, None, scope.blob())
         return ("ok", group.digest, records)
     except _PointTimeout:
         return (
@@ -303,6 +318,7 @@ def run_campaign(
     resume: bool = False,
     cache=None,
     batch: Optional[int] = None,
+    telemetry: bool = True,
 ) -> CampaignReport:
     """Execute a campaign to completion (or controlled interruption).
 
@@ -336,6 +352,15 @@ def run_campaign(
     records do not count toward ``interrupt_after`` (they cost no work
     worth crash-testing), and a custom ``worker`` disables deposits but
     still benefits from warm serving.
+
+    ``telemetry=True`` (the default) collects per-point metric deltas
+    and trace spans from the workers, merges them supervisor-side, and
+    flushes ``status.json``/``telemetry.prom``/``telemetry.json`` into
+    the campaign directory for ``repro campaign status``/``repro top``.
+    Telemetry is a write-only sink: checkpoint rows and the aggregate
+    digest are byte-identical with it on or off.  Span contexts only
+    ride along with the stock workers — a custom ``worker`` still gets
+    supervisor-side progress/status, just no per-point blobs.
     """
     if batch is not None:
         if batch < 1:
@@ -350,6 +375,32 @@ def run_campaign(
         _prepare_dir(spec, campaign_dir)
     store = ResultStore(os.path.join(campaign_dir, RESULTS_FILE))
     failures = FailureLog(os.path.join(campaign_dir, FAILURES_FILE))
+    records = store.load()
+    session: Optional[TelemetrySession] = None
+    status: Optional[CampaignStatusWriter] = None
+    on_telemetry = None
+    prev_cache_telemetry = None
+    if telemetry:
+        registry = MetricsRegistry()
+        session = TelemetrySession(
+            "campaign", registry=registry, attrs={"name": spec.name}
+        )
+        status = CampaignStatusWriter(
+            campaign_dir,
+            spec.name,
+            registry,
+            planned=spec.n_planned_points(),
+            already_done=len(records),
+            cache=cache,
+        )
+        if cache is not None:
+            prev_cache_telemetry = cache.telemetry
+            cache.bind_telemetry(registry)
+
+        def on_telemetry(blob) -> None:
+            session.merge_blob(blob)
+            status.note_worker(blob)
+
     if batch is not None:
         executor_kwargs = {"worker": _batched_worker}
     else:
@@ -364,6 +415,12 @@ def run_campaign(
         retry=retry,
         timeout_s=timeout_s,
         cache_plan=cache_plan,
+        telemetry=session.registry if session is not None else None,
+        # Span contexts ride only with the stock workers: a custom
+        # worker may unpack a fixed-size payload.
+        telemetry_ctx=(
+            session.ctx if session is not None and worker is None else None
+        ),
         **executor_kwargs,
     )
 
@@ -372,8 +429,13 @@ def run_campaign(
         if isinstance(record, list):
             for member_record in record:
                 store.append(member_record)
+            n = len(record)
         else:
             store.append(record)
+            n = 1
+        if status is not None:
+            status.note_points(n)
+            status.write("running")
 
     def on_failure(
         point: CampaignPoint, attempt: int, error: str, quarantined: bool
@@ -381,6 +443,10 @@ def run_campaign(
         failures.append(
             point.digest, point.seed, point.cell, attempt, error, quarantined
         )
+        if status is not None and quarantined:
+            # A quarantined batch group takes all its members with it.
+            status.note_quarantine(len(getattr(point, "points", ())) or 1)
+            status.write("running")
 
     def on_cache_entry(
         point: CampaignPoint, entry: Dict[str, object]
@@ -388,58 +454,77 @@ def run_campaign(
         cache.adopt(
             str(entry["key"]), str(entry["blob"]), int(entry["size"])
         )
-
-    records = store.load()
     quarantined_digests: Set[str] = set()
     # Group digest -> member point digests, for quarantine expansion: the
     # planner excludes *points*, so a quarantined group must poison every
     # member or its survivors would be replanned forever.
     group_members: Dict[str, List[str]] = {}
     completed_this_invocation = 0
-    # Wave loop: fixed mode needs one wave (plus one to observe "done");
-    # sequential mode grows cells until the planner returns nothing.
-    while True:
-        missing = plan_missing(spec, records, exclude=quarantined_digests)
-        if not missing:
-            break
-        if cache is not None:
-            served, missing = _serve_from_cache(cache, missing, store)
-            if served and not missing:
-                records = store.load()
-                continue
-        if batch is not None:
-            work_items = _group_points(missing, batch)
-            for group in work_items:
-                group_members[group.digest] = [
-                    point.digest for point in group.points
-                ]
-        else:
-            work_items = missing
-        remaining_interrupt = (
-            None
-            if interrupt_after is None
-            else interrupt_after - completed_this_invocation
-        )
-        try:
-            stats: ExecutionStats = executor.run(
-                work_items,
-                on_record=on_record,
-                on_failure=on_failure,
-                interrupt_after=remaining_interrupt,
-                on_cache_entry=(
-                    on_cache_entry if cache_plan is not None else None
-                ),
+    final_state = "interrupted"
+    try:
+        # Wave loop: fixed mode needs one wave (plus one to observe
+        # "done"); sequential mode grows cells until the planner returns
+        # nothing.
+        while True:
+            missing = plan_missing(
+                spec, records, exclude=quarantined_digests
             )
-        except CampaignInterrupted as exc:
-            raise CampaignInterrupted(
-                completed_this_invocation + exc.completed
-            ) from None
-        completed_this_invocation += stats.completed
-        for failure in stats.quarantined:
-            quarantined_digests |= set(
-                group_members.get(failure.digest, [failure.digest])
+            if not missing:
+                break
+            if cache is not None:
+                served, missing = _serve_from_cache(cache, missing, store)
+                if status is not None and served:
+                    status.note_points(served)
+                    status.write("running")
+                if served and not missing:
+                    records = store.load()
+                    continue
+            if batch is not None:
+                work_items = _group_points(missing, batch)
+                for group in work_items:
+                    group_members[group.digest] = [
+                        point.digest for point in group.points
+                    ]
+            else:
+                work_items = missing
+            remaining_interrupt = (
+                None
+                if interrupt_after is None
+                else interrupt_after - completed_this_invocation
             )
-        records = store.load()
+            try:
+                stats: ExecutionStats = executor.run(
+                    work_items,
+                    on_record=on_record,
+                    on_failure=on_failure,
+                    interrupt_after=remaining_interrupt,
+                    on_cache_entry=(
+                        on_cache_entry if cache_plan is not None else None
+                    ),
+                    on_telemetry=on_telemetry,
+                )
+            except CampaignInterrupted as exc:
+                raise CampaignInterrupted(
+                    completed_this_invocation + exc.completed
+                ) from None
+            completed_this_invocation += stats.completed
+            for failure in stats.quarantined:
+                quarantined_digests |= set(
+                    group_members.get(failure.digest, [failure.digest])
+                )
+            records = store.load()
+        final_state = "complete"
+    finally:
+        # The forced final flush makes kill-and-resume inspectable: an
+        # interrupted campaign leaves a status file saying so.
+        if status is not None:
+            status.write(final_state, force=True)
+        if session is not None:
+            session.finish(
+                state=final_state, points=completed_this_invocation
+            )
+        if cache is not None and prev_cache_telemetry is not None:
+            cache.bind_telemetry(prev_cache_telemetry)
     report = build_report(
         spec, records, quarantined=failures.quarantined(records)
     )

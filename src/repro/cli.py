@@ -9,7 +9,11 @@ Commands:
 * ``sweep``      — sweep one config field over values, print a row per run
 * ``obs``        — summarize/filter a JSONL run journal
 * ``campaign``   — fault-injection campaigns: ``run``/``resume``/``report``
-  over a checkpointed campaign directory (see :mod:`repro.campaign`)
+  over a checkpointed campaign directory (see :mod:`repro.campaign`),
+  plus read-only ``status`` against a running (or finished) directory
+* ``top``        — one-line live status per campaign directory, read
+  from the atomically-flushed ``status.json`` (see
+  :mod:`repro.telemetry.status`)
 * ``cache``      — run-result cache maintenance: ``stats``/``verify``/
   ``gc``/``clear`` (see :mod:`repro.cache`)
 * ``verify``     — runtime verification: ``invariants`` over the
@@ -154,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the inline invariant checker (repro.verify) alongside "
              "the simulation; non-zero exit on any violation",
     )
+    run_p.add_argument(
+        "--telemetry", action="store_true",
+        help="collect runtime telemetry (events/s, launches/deferrals, "
+             "power headroom) and print the counter summary; never "
+             "changes the simulation result",
+    )
     _add_cache_flags(run_p)
 
     exp_p = sub.add_parser("experiment", help="run experiments by id")
@@ -226,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="testing/ops hook: simulate a crash after N "
                  "checkpointed results (exit code 3; resume continues)",
         )
+        p.add_argument(
+            "--no-telemetry", action="store_true",
+            help="skip collecting runtime telemetry and writing the "
+                 "status.json/telemetry.prom/telemetry.json files "
+                 "(results are identical either way)",
+        )
         _add_cache_flags(p)
 
     camp_run = camp_sub.add_parser(
@@ -251,6 +267,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp_rep.add_argument(
         "campaign_dir", help="campaign directory with spec.json"
+    )
+
+    camp_stat = camp_sub.add_parser(
+        "status",
+        help="read-only progress of a campaign directory (live or "
+             "finished; degrades to row counts for pre-telemetry dirs)",
+    )
+    camp_stat.add_argument(
+        "campaign_dir", help="campaign directory with spec.json"
+    )
+    camp_stat.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw status document as JSON",
+    )
+
+    top_p = sub.add_parser(
+        "top", help="one-line live status per campaign directory"
+    )
+    top_p.add_argument(
+        "campaign_dirs", nargs="+", help="campaign directories to watch"
+    )
+    top_p.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="refresh every SECONDS until interrupted "
+             "(default: print once and exit)",
     )
 
     cache_p = sub.add_parser(
@@ -403,12 +444,29 @@ def cmd_run(args: argparse.Namespace) -> int:
         # stream of the run it would skip; count the bypass, compute cold.
         cache.note_bypass(1, reason="observability enabled")
         cache = None
-    if cache is not None:
-        result, cache_hit = cache.get_or_run(config)
-    else:
-        result = run_system(
-            config, journal=journal, profiler=profiler, verifier=verifier
-        )
+    telemetry_reg = None
+    if args.telemetry:
+        # Telemetry is a write-only sink: unlike journal/profiler it
+        # neither bypasses the cache nor changes the result.
+        from repro.telemetry import configure_telemetry
+        from repro.telemetry.registry import MetricsRegistry
+
+        telemetry_reg = MetricsRegistry()
+        configure_telemetry(telemetry_reg)
+        if cache is not None:
+            cache.bind_telemetry(telemetry_reg)
+    try:
+        if cache is not None:
+            result, cache_hit = cache.get_or_run(config)
+        else:
+            result = run_system(
+                config, journal=journal, profiler=profiler, verifier=verifier
+            )
+    finally:
+        if telemetry_reg is not None:
+            from repro.telemetry import configure_telemetry
+
+            configure_telemetry(None)
     rows = [[key, value] for key, value in result.summary().items()]
     print(
         format_table(
@@ -433,6 +491,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"journal written to {args.journal} ({len(journal)} events)")
     if profiler is not None:
         print(profiler.report())
+    if telemetry_reg is not None:
+        snapshot = telemetry_reg.snapshot()
+        lines = [
+            f"  {name} = {value}"
+            for name, value in sorted(snapshot.get("counters", {}).items())
+        ]
+        lines += [
+            f"  {name} = {gauge['last']:g} "
+            f"(min {gauge['min']:g}, max {gauge['max']:g})"
+            for name, gauge in sorted(snapshot.get("gauges", {}).items())
+            if gauge.get("last") is not None
+        ]
+        if lines:
+            print("telemetry:")
+            print("\n".join(lines))
+        else:
+            print("telemetry: empty (a cache hit executes no simulation)")
     if cache is not None:
         print(f"cache: {'hit' if cache_hit else 'miss (stored)'}")
     if verifier is not None:
@@ -612,6 +687,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               f"{args.campaign_dir}/{MANIFEST_FILE}")
         return 0
 
+    if args.campaign_command == "status":
+        import json
+
+        from repro.telemetry.status import load_status, render_status
+
+        try:
+            status = load_status(args.campaign_dir)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read campaign status: {exc}", file=sys.stderr)
+            return 2
+        if args.as_json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(render_status(status))
+        return 0
+
     cache = _cache_from_args(args)
     kwargs = dict(
         jobs=args.jobs,
@@ -621,6 +712,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         timeout_s=args.timeout_s,
         interrupt_after=args.interrupt_after,
         cache=cache,
+        telemetry=not args.no_telemetry,
     )
     try:
         if args.campaign_command == "run":
@@ -829,6 +921,30 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.telemetry.status import load_status, render_top
+
+    try:
+        while True:
+            statuses = []
+            errors = 0
+            for directory in args.campaign_dirs:
+                try:
+                    statuses.append(load_status(directory))
+                except (OSError, ValueError) as exc:
+                    errors += 1
+                    print(f"{directory}: {exc}", file=sys.stderr)
+            if statuses:
+                print(render_top(statuses))
+            if args.watch is None:
+                return 2 if errors and not statuses else 0
+            time.sleep(args.watch)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:", ", ".join(sorted(EXPERIMENTS)))
     print("scenarios:  ", ", ".join(sorted(SCENARIOS)))
@@ -846,6 +962,7 @@ _COMMANDS = {
     "campaign": cmd_campaign,
     "cache": cmd_cache,
     "verify": cmd_verify,
+    "top": cmd_top,
     "list": cmd_list,
 }
 

@@ -46,6 +46,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.batch import run_batch
 from repro.core.system import SimulationResult, SystemConfig, run_system
 from repro.obs.provenance import config_digest
+from repro.telemetry import (
+    TelemetrySession,
+    active_telemetry,
+    worker_telemetry,
+)
+from repro.telemetry.spans import SpanContext
 
 
 class RunFailed(RuntimeError):
@@ -60,16 +66,26 @@ class RunFailed(RuntimeError):
         self.error = error
 
 
-def _run_one(payload: Tuple[int, SystemConfig]):
+def _run_one(payload):
     """Module-level worker so it is picklable by the process pool.
 
     Never raises: an exception would poison ``pool.map`` mid-iteration
     and surface with no attribution.  Failures come back as tagged
     tuples and are re-raised, attributed, by the parent.
+
+    ``payload`` is ``(index, config)`` — with a trailing
+    :class:`~repro.telemetry.spans.SpanContext` when the sweep collects
+    telemetry, in which case an ok-outcome grows a trailing telemetry
+    blob for the supervisor to merge.
     """
-    index, config = payload
+    index, config = payload[0], payload[1]
+    ctx: Optional[SpanContext] = payload[2] if len(payload) > 2 else None
     try:
-        return ("ok", index, run_system(config))
+        with worker_telemetry(ctx, str(index), "sweep.run") as scope:
+            result = run_system(config)
+        if scope is not None:
+            return ("ok", index, result, scope.blob())
+        return ("ok", index, result)
     except Exception as exc:
         return (
             "err",
@@ -79,7 +95,7 @@ def _run_one(payload: Tuple[int, SystemConfig]):
         )
 
 
-def _run_chunk(payload: Tuple[List[int], SystemConfig, List[int]]):
+def _run_chunk(payload):
     """Module-level batched worker (picklable); mirrors :func:`_run_one`.
 
     Runs one seed-chunk through the lockstep batch engine and returns the
@@ -87,9 +103,14 @@ def _run_chunk(payload: Tuple[List[int], SystemConfig, List[int]]):
     parent can slot them into place no matter in which order the pool's
     futures complete.
     """
-    indices, config, seeds = payload
+    indices, config, seeds = payload[0], payload[1], payload[2]
+    ctx: Optional[SpanContext] = payload[3] if len(payload) > 3 else None
     try:
-        return ("ok", indices, run_batch(config, seeds))
+        with worker_telemetry(ctx, str(indices[0]), "sweep.chunk") as scope:
+            results = run_batch(config, seeds)
+        if scope is not None:
+            return ("ok", indices, results, scope.blob())
+        return ("ok", indices, results)
     except Exception as exc:
         return (
             "err",
@@ -134,6 +155,8 @@ def _run_batched(
     indices: List[int],
     jobs: Optional[int],
     batch_size: int,
+    ctx: Optional[SpanContext] = None,
+    on_blob=None,
 ) -> List[SimulationResult]:
     """Run the configs at ``indices`` as lockstep seed-chunks.
 
@@ -150,17 +173,23 @@ def _run_batched(
             config = config_list[chunk[0]]
             seeds = [config_list[i].seed for i in chunk]
             try:
-                chunk_results = run_batch(config, seeds)
+                with worker_telemetry(
+                    ctx, str(chunk[0]), "sweep.chunk"
+                ) as scope:
+                    chunk_results = run_batch(config, seeds)
             except Exception as exc:
                 raise RunFailed(
                     chunk[0],
                     config_digest(config),
                     f"{type(exc).__name__}: {exc}",
                 ) from exc
+            if scope is not None and on_blob is not None:
+                on_blob(scope.blob())
             by_index.update(zip(chunk, chunk_results))
         return [by_index[i] for i in indices]
     payloads = [
         (chunk, config_list[chunk[0]], [config_list[i].seed for i in chunk])
+        + ((ctx,) if ctx is not None else ())
         for chunk in chunks
     ]
     workers = min(jobs, len(payloads))
@@ -173,6 +202,8 @@ def _run_batched(
                 failures.append((outcome[1][0], outcome[2], outcome[3]))
             else:
                 by_index.update(zip(outcome[1], outcome[2]))
+                if len(outcome) > 3 and on_blob is not None:
+                    on_blob(outcome[3])
     if failures:
         index, digest, error = min(failures)
         raise RunFailed(index, digest, error)
@@ -206,32 +237,45 @@ def _run_indexed(
     indices: List[int],
     jobs: Optional[int],
     batch_size: Optional[int] = None,
+    ctx: Optional[SpanContext] = None,
+    on_blob=None,
 ) -> List[SimulationResult]:
-    """Run the configs at ``indices``; failures keep original indices."""
+    """Run the configs at ``indices``; failures keep original indices.
+
+    With ``ctx`` set, every run (serial or pooled alike) executes under
+    a worker telemetry scope and its blob is handed to ``on_blob`` —
+    the serial path uses the same collect-then-merge semantics as the
+    pool, which is what makes serial and pooled snapshots identical.
+    """
     if batch_size is not None:
-        return _run_batched(config_list, indices, jobs, batch_size)
+        return _run_batched(config_list, indices, jobs, batch_size, ctx, on_blob)
     if not jobs or jobs == 1 or len(indices) <= 1:
         results = []
         for index in indices:
             try:
-                results.append(run_system(config_list[index]))
+                with worker_telemetry(ctx, str(index), "sweep.run") as scope:
+                    results.append(run_system(config_list[index]))
             except Exception as exc:
                 raise RunFailed(
                     index,
                     config_digest(config_list[index]),
                     f"{type(exc).__name__}: {exc}",
                 ) from exc
+            if scope is not None and on_blob is not None:
+                on_blob(scope.blob())
         return results
     workers = min(jobs, len(indices))
+    payloads = [
+        (index, config_list[index]) + ((ctx,) if ctx is not None else ())
+        for index in indices
+    ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        outcomes = list(
-            pool.map(
-                _run_one, [(index, config_list[index]) for index in indices]
-            )
-        )
+        outcomes = list(pool.map(_run_one, payloads))
     for outcome in outcomes:
         if outcome[0] == "err":
             raise RunFailed(outcome[1], outcome[2], outcome[3])
+        if len(outcome) > 3 and on_blob is not None:
+            on_blob(outcome[3])
     return [outcome[2] for outcome in outcomes]
 
 
@@ -275,21 +319,52 @@ def run_many(
     if batch_size is not None and batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     cache = _resolve_cache(cache, len(config_list))
-    if cache is None:
-        return _run_indexed(
-            config_list, list(range(len(config_list))), jobs, batch_size
+    # Telemetry: with a process-active registry, the sweep becomes one
+    # session — workers (or serial worker scopes) collect deltas, the
+    # supervisor merges them here.  Cache hits are *not* simulated, so
+    # they contribute cache.* counters but no sim.* ones.
+    tm = active_telemetry()
+    session: Optional[TelemetrySession] = None
+    ctx: Optional[SpanContext] = None
+    on_blob = None
+    prev_cache_tm = None
+    if tm.enabled:
+        session = TelemetrySession(
+            "sweep", registry=tm, attrs={"n_configs": len(config_list)}
         )
-    results: List[Optional[SimulationResult]] = [None] * len(config_list)
-    miss_indices: List[int] = []
-    for index, config in enumerate(config_list):
-        cached = cache.get_result(config)
-        if cached is not None:
-            results[index] = cached
-        else:
-            miss_indices.append(index)
-    if miss_indices:
-        fresh = _run_indexed(config_list, miss_indices, jobs, batch_size)
-        for index, result in zip(miss_indices, fresh):
-            cache.put_result(config_list[index], result)
-            results[index] = result
-    return results  # type: ignore[return-value]
+        ctx = session.ctx
+        on_blob = session.merge_blob
+        if cache is not None:
+            prev_cache_tm = cache.telemetry
+            cache.bind_telemetry(tm)
+    try:
+        if cache is None:
+            return _run_indexed(
+                config_list,
+                list(range(len(config_list))),
+                jobs,
+                batch_size,
+                ctx,
+                on_blob,
+            )
+        results: List[Optional[SimulationResult]] = [None] * len(config_list)
+        miss_indices: List[int] = []
+        for index, config in enumerate(config_list):
+            cached = cache.get_result(config)
+            if cached is not None:
+                results[index] = cached
+            else:
+                miss_indices.append(index)
+        if miss_indices:
+            fresh = _run_indexed(
+                config_list, miss_indices, jobs, batch_size, ctx, on_blob
+            )
+            for index, result in zip(miss_indices, fresh):
+                cache.put_result(config_list[index], result)
+                results[index] = result
+        return results  # type: ignore[return-value]
+    finally:
+        if prev_cache_tm is not None:
+            cache.telemetry = prev_cache_tm
+        if session is not None:
+            session.finish(n_configs=len(config_list))

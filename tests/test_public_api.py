@@ -33,6 +33,7 @@ PACKAGES = [
     "repro.platform",
     "repro.power",
     "repro.sim",
+    "repro.telemetry",
     "repro.testing",
     "repro.verify",
     "repro.workload",
