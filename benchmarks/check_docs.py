@@ -35,6 +35,7 @@ LINT_ROOTS = [
     "repro.cache",
     "repro.campaign",
     "repro.obs",
+    "repro.serve",
     "repro.telemetry",
     "repro.verify",
 ]

@@ -13,7 +13,11 @@ Commands:
   plus read-only ``status`` against a running (or finished) directory
 * ``top``        — one-line live status per campaign directory, read
   from the atomically-flushed ``status.json`` (see
-  :mod:`repro.telemetry.status`)
+  :mod:`repro.telemetry.status`); ``--url HOST:PORT`` instead polls a
+  running ``repro serve`` instance's ``/status`` endpoint
+* ``serve``      — the multi-tenant simulation server: sweep points and
+  campaign specs over HTTP, results streamed back as JSONL, identical
+  digests to direct runs (see :mod:`repro.serve` and docs/serving.md)
 * ``cache``      — run-result cache maintenance: ``stats``/``verify``/
   ``gc``/``clear`` (see :mod:`repro.cache`)
 * ``verify``     — runtime verification: ``invariants`` over the
@@ -66,6 +70,21 @@ def _jobs_arg(raw: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"jobs must be >= 0 (0 or 1 means serial), got {value}"
+        )
+    return value
+
+
+def _batch_size_arg(raw: str) -> int:
+    """argparse type for ``--batch-size``: reject nonsense at parse time."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be an integer, got {raw!r}"
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be >= 1, got {value}"
         )
     return value
 
@@ -186,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep points "
              "(results are identical to a serial run)",
     )
+    sweep_p.add_argument(
+        "--batch-size", type=_batch_size_arg, default=None, metavar="B",
+        help="lockstep batch width: run seed-replica groups B lanes at "
+             "a time through the batch engine (results are digest-"
+             "identical to unbatched runs)",
+    )
     _add_cache_flags(sweep_p)
 
     obs_p = sub.add_parser("obs", help="summarize/filter a JSONL run journal")
@@ -286,13 +311,79 @@ def build_parser() -> argparse.ArgumentParser:
         "top", help="one-line live status per campaign directory"
     )
     top_p.add_argument(
-        "campaign_dirs", nargs="+", help="campaign directories to watch"
+        "campaign_dirs", nargs="*",
+        help="campaign directories to watch (omit when using --url)",
+    )
+    top_p.add_argument(
+        "--url", metavar="HOST:PORT",
+        help="poll a running 'repro serve' instance instead of local "
+             "directories (accepts host:port, a base URL, or a full "
+             "/status URL)",
     )
     top_p.add_argument(
         "--watch", type=float, default=None, metavar="SECONDS",
         help="refresh every SECONDS until interrupted "
              "(default: print once and exit)",
     )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant simulation server "
+             "(HTTP + JSONL streaming; see docs/serving.md)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default localhost)"
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8742,
+        help="TCP port; 0 picks an ephemeral port (default 8742)",
+    )
+    serve_p.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="write the bound port here once listening (for harnesses "
+             "that start the server with --port 0)",
+    )
+    serve_p.add_argument(
+        "--state-dir", default="serve-state", metavar="DIR",
+        help="server state directory: campaign checkpoints, final "
+             "status/metrics exports (default ./serve-state)",
+    )
+    serve_p.add_argument(
+        "--jobs", type=_jobs_arg, default=0,
+        help="worker processes for sweep points (0 = in-process "
+             "threads; results are identical either way)",
+    )
+    serve_p.add_argument(
+        "--batch-size", type=_batch_size_arg, default=None, metavar="B",
+        help="lockstep batch width for seed-replica groups",
+    )
+    serve_p.add_argument(
+        "--max-queue", type=int, default=1024, metavar="N",
+        help="global queued-point bound; beyond it submissions get "
+             "429 + Retry-After (default 1024)",
+    )
+    serve_p.add_argument(
+        "--tenant-quota", type=int, default=256, metavar="N",
+        help="per-tenant in-flight point bound (default 256)",
+    )
+    serve_p.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="per-request resolved-point ceiling (default 4096)",
+    )
+    serve_p.add_argument(
+        "--max-campaigns", type=int, default=4, metavar="N",
+        help="concurrently executing campaign jobs (default 4)",
+    )
+    serve_p.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="graceful-shutdown budget for in-flight work (default 30)",
+    )
+    serve_p.add_argument(
+        "--no-resume", action="store_true",
+        help="do not auto-resume interrupted campaigns found in the "
+             "state dir at startup",
+    )
+    _add_cache_flags(serve_p)
 
     cache_p = sub.add_parser(
         "cache", help="run-result cache maintenance (stats/verify/gc/clear)"
@@ -640,7 +731,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         dataclasses.replace(base, **{args.field: value}) for value in values
     ]
     cache = _cache_from_args(args)
-    results = run_many(configs, args.jobs, cache=cache)
+    results = run_many(
+        configs, args.jobs, cache=cache, batch_size=args.batch_size
+    )
     rows = []
     for value, result in zip(values, results):
         summary = result.summary()
@@ -921,11 +1014,44 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _server_top_statuses(url: str) -> List[dict]:
+    """Fetch a server's ``/status`` and shape it into ``render_top`` rows.
+
+    One row for the server itself (aggregate sweep throughput) plus one
+    per campaign the server knows about — the same renderer the
+    directory mode uses, so local and remote watching look alike.
+    """
+    from repro.serve.client import fetch_status
+
+    doc = fetch_status(url)
+    server_row = {
+        "name": str(doc.get("name", "server")),
+        "state": str(doc.get("state", "?")),
+        "points_done": doc.get("points_done"),
+        "points_planned": doc.get("points_planned"),
+        "rate_per_s": doc.get("rate_per_s"),
+        "eta_s": doc.get("eta_s"),
+        "events_per_s": doc.get("events_per_s"),
+        "workers": doc.get("workers") or {},
+    }
+    rows = [server_row]
+    campaigns = doc.get("campaigns")
+    if isinstance(campaigns, list):
+        rows.extend(c for c in campaigns if isinstance(c, dict))
+    return rows
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     import time
 
     from repro.telemetry.status import load_status, render_top
 
+    if not args.campaign_dirs and not args.url:
+        print(
+            "top: give campaign directories and/or --url HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
     try:
         while True:
             statuses = []
@@ -936,12 +1062,48 @@ def cmd_top(args: argparse.Namespace) -> int:
                 except (OSError, ValueError) as exc:
                     errors += 1
                     print(f"{directory}: {exc}", file=sys.stderr)
+            if args.url:
+                try:
+                    statuses.extend(_server_top_statuses(args.url))
+                except Exception as exc:
+                    errors += 1
+                    print(f"{args.url}: {exc}", file=sys.stderr)
             if statuses:
                 print(render_top(statuses))
             if args.watch is None:
                 return 2 if errors and not statuses else 0
             time.sleep(args.watch)
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.protocol import MAX_POINTS_PER_REQUEST
+    from repro.serve.server import ServeConfig, serve_main
+
+    cache = _cache_from_args(args)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        state_dir=args.state_dir,
+        cache=cache,
+        max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        max_points_per_request=(
+            args.max_points if args.max_points is not None
+            else MAX_POINTS_PER_REQUEST
+        ),
+        max_campaigns=args.max_campaigns,
+        drain_timeout_s=args.drain_timeout,
+        auto_resume=not args.no_resume,
+    )
+    try:
+        return asyncio.run(serve_main(config, port_file=args.port_file))
+    except KeyboardInterrupt:  # pragma: no cover - signal path races
         return 0
 
 
@@ -963,6 +1125,7 @@ _COMMANDS = {
     "cache": cmd_cache,
     "verify": cmd_verify,
     "top": cmd_top,
+    "serve": cmd_serve,
     "list": cmd_list,
 }
 

@@ -312,12 +312,34 @@ def run_many(
     digest) if any run fails; nothing is cached for a failing sweep.
     For a batched sweep the failure is attributed to the failing chunk's
     first config, deterministically (smallest index wins across chunks).
+    Nonsensical execution knobs fail fast, before any work starts:
+    non-int ``jobs``/``batch_size`` (including bools) raise
+    :class:`TypeError`, negative ``jobs`` and ``batch_size < 1`` raise
+    :class:`ValueError`.
     """
     config_list = list(configs)
-    if jobs is not None and jobs < 0:
-        raise ValueError(f"jobs must be non-negative, got {jobs}")
-    if batch_size is not None and batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if jobs is not None:
+        if isinstance(jobs, bool) or not isinstance(jobs, int):
+            raise TypeError(
+                f"jobs must be an int or None, got "
+                f"{type(jobs).__name__} ({jobs!r})"
+            )
+        if jobs < 0:
+            raise ValueError(
+                f"jobs must be non-negative (0 or 1 means serial), "
+                f"got {jobs}"
+            )
+    if batch_size is not None:
+        if isinstance(batch_size, bool) or not isinstance(batch_size, int):
+            raise TypeError(
+                f"batch_size must be an int or None, got "
+                f"{type(batch_size).__name__} ({batch_size!r})"
+            )
+        if batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1 (None disables batching), "
+                f"got {batch_size}"
+            )
     cache = _resolve_cache(cache, len(config_list))
     # Telemetry: with a process-active registry, the sweep becomes one
     # session — workers (or serial worker scopes) collect deltas, the

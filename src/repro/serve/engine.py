@@ -1,0 +1,582 @@
+"""The serving engine: tenant queues, coalescing, and the worker fleet.
+
+This is the routing/queueing core of ``repro.serve``, kept free of any
+HTTP so it can be driven directly by tests.  One engine owns:
+
+* **per-tenant bounded queues** — a submission is admitted atomically
+  (the event loop is the lock: :meth:`ServeEngine.submit` never awaits)
+  or rejected whole with :class:`QuotaExceeded`, which carries a
+  retry-after estimate derived from the observed completion rate;
+* **in-flight coalescing** — points are keyed by
+  :func:`~repro.obs.provenance.config_digest`; while a digest is queued
+  or running, every further request for it attaches to the same future
+  and costs nothing, and completed digests are served from the
+  :class:`~repro.cache.RunCache` (when configured), so N clients asking
+  for the same point pay for one simulation *ever*;
+* **fair round-robin draining** — the dispatcher cycles tenants in
+  arrival order and takes one item per turn, so a tenant with a
+  thousand queued points cannot starve a tenant with one;
+* **the worker fleet** — a persistent ``ProcessPoolExecutor``
+  (``jobs >= 1``) or thread pool (``jobs = 0``, handy for tests and
+  tiny deployments) executing :func:`repro.core.system.run_system`;
+  with ``batch_size`` set, runs of seed-replicas are fed through the
+  lockstep batch engine (:func:`repro.batch.run_batch`) instead, one
+  whole chunk per dispatch.  A broken process pool is rebuilt and the
+  interrupted work retried, mirroring the campaign executor's
+  crash-tolerance.
+
+Determinism contract: every result leaving the engine is produced by
+``run_system``/``run_batch`` on a fully-resolved config, so its
+:func:`~repro.batch.result_digest` is byte-identical to a direct
+:func:`~repro.experiments.run_many` call — serial, pooled, batched,
+cached or coalesced.  The engine adds routing, never arithmetic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from collections import deque
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.batch import result_digest, run_batch
+from repro.core.system import SimulationResult, SystemConfig, run_system
+from repro.obs.provenance import config_digest
+from repro.serve.protocol import SweepRequest
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "PointPayload",
+    "QuotaExceeded",
+    "ServeEngine",
+    "ServerDraining",
+    "Ticket",
+]
+
+
+class QuotaExceeded(Exception):
+    """A submission that would overflow a tenant or server queue bound."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class ServerDraining(Exception):
+    """The engine is shutting down and accepts no new work (HTTP 503)."""
+
+
+def _warmup_worker() -> bool:
+    """No-op task used to spin up pool workers before serving traffic."""
+    return True
+
+
+def _point_worker(config: SystemConfig) -> SimulationResult:
+    """Module-level single-point worker (picklable for the process pool)."""
+    return run_system(config)
+
+
+def _chunk_worker(
+    config: SystemConfig, seeds: List[int]
+) -> List[SimulationResult]:
+    """Module-level lockstep-chunk worker (picklable); one result per seed."""
+    return run_batch(config, seeds)
+
+
+@dataclass(frozen=True)
+class PointPayload:
+    """What a completed point resolves to: identity plus the summary row.
+
+    ``result_digest`` is :func:`repro.batch.result_digest` of the full
+    :class:`~repro.core.system.SimulationResult` — the identity the
+    served-equals-direct contract is asserted on; ``summary`` is the
+    scalar summary row clients actually consume.
+    """
+
+    digest: str
+    result_digest: str
+    summary: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """One requested point's claim on a (possibly shared) outcome.
+
+    ``source`` records how the point was satisfied at submission time:
+    ``"queued"`` (fresh work this request paid for), ``"coalesced"``
+    (attached to an identical in-flight point) or ``"cached"`` (served
+    from the run cache without executing).
+    """
+
+    index: int
+    digest: str
+    future: "asyncio.Future[PointPayload]"
+    source: str
+
+
+class _Work:
+    """One queued fresh point: config, identities, owning tenant."""
+
+    __slots__ = ("config", "digest", "group_key", "tenant", "seed")
+
+    def __init__(
+        self, config: SystemConfig, digest: str, group_key: str, tenant: str
+    ) -> None:
+        self.config = config
+        self.digest = digest
+        self.group_key = group_key
+        self.tenant = tenant
+        self.seed = config.seed
+
+
+class _TenantState:
+    """Book-keeping for one tenant: queue plus admission counters."""
+
+    __slots__ = ("name", "queue", "in_use", "submitted", "completed", "rejected")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.queue: Deque[_Work] = deque()
+        #: Fresh points owned by this tenant, queued or running.
+        self.in_use = 0
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready tenant stats for the ``/status`` document."""
+        return {
+            "queued": len(self.queue),
+            "in_use": self.in_use,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+        }
+
+
+class ServeEngine:
+    """Multi-tenant scheduler over a shared simulation worker fleet.
+
+    ``jobs >= 1`` runs points on a persistent process pool of that
+    width; ``jobs = 0`` (default) runs them on a small thread pool in
+    process — identical results, no pickling, the mode tests use.
+    ``tenant_quota`` bounds each tenant's fresh (non-coalesced,
+    non-cached) points in flight; ``max_queue`` bounds the total queued
+    backlog across tenants; ``batch_size`` enables lockstep seed-chunk
+    dispatch.  ``registry`` receives ``serve.*`` counters and gauges.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 0,
+        cache=None,
+        max_queue: int = 1024,
+        tenant_quota: int = 256,
+        batch_size: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        max_attempts: int = 3,
+    ) -> None:
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 0:
+            raise ValueError(f"jobs must be a non-negative int, got {jobs!r}")
+        if batch_size is not None and (
+            not isinstance(batch_size, int)
+            or isinstance(batch_size, bool)
+            or batch_size < 1
+        ):
+            raise ValueError(f"batch_size must be an int >= 1, got {batch_size!r}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if tenant_quota < 1:
+            raise ValueError(f"tenant_quota must be >= 1, got {tenant_quota}")
+        self.jobs = jobs
+        self.cache = cache
+        self.max_queue = max_queue
+        self.tenant_quota = tenant_quota
+        self.batch_size = batch_size
+        self.max_attempts = max_attempts
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(enabled=True)
+        )
+        self.width = jobs if jobs >= 1 else 2
+        self._pool: Optional[Executor] = None
+        self._pool_generation = 0
+        self._tenants: Dict[str, _TenantState] = {}
+        self._rr: Deque[str] = deque()
+        #: digest -> shared future of a point that is queued or running.
+        self._inflight: Dict[str, "asyncio.Future[PointPayload]"] = {}
+        self._queued_total = 0
+        self._running = 0
+        self._draining = False
+        self._wake = asyncio.Event()
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        #: EWMA of per-point wall seconds, for retry-after estimates.
+        self._ewma_point_s = 0.5
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Create the worker pool and start the dispatcher task.
+
+        Process pools are warmed eagerly so the forkserver/spawn helper
+        exists before the listener accepts its first connection.
+        """
+        self._make_pool()
+        if self.jobs >= 1:
+            await asyncio.get_running_loop().run_in_executor(
+                self._pool, _warmup_worker
+            )
+        self._slots = asyncio.Semaphore(self.width)
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    def _make_pool(self) -> None:
+        if self.jobs >= 1:
+            # Never fork() the serving process directly: forked workers
+            # would inherit duplicates of accepted connection fds, and a
+            # held duplicate keeps a close-delimited stream from ever
+            # reaching EOF on the client.  A forkserver (or spawn)
+            # context forks from a clean helper process instead.
+            try:
+                ctx = multiprocessing.get_context("forkserver")
+            except ValueError:  # pragma: no cover - platform-dependent
+                ctx = multiprocessing.get_context("spawn")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=ctx
+            )
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.width, thread_name_prefix="serve-sim"
+            )
+        self._pool_generation += 1
+
+    async def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop admissions, wait for outstanding work, stop the fleet.
+
+        Returns True if everything finished within ``timeout_s``
+        (``None`` = wait forever).  Queued-but-unstarted points are
+        still executed — drain means "finish what was admitted", not
+        "abandon it"; every admitted future resolves.
+        """
+        self._draining = True
+        self._wake.set()
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while self._inflight:
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            await asyncio.sleep(0.02)
+        return True
+
+    async def stop(self) -> None:
+        """Tear down the dispatcher and the pool (after :meth:`drain`)."""
+        self._draining = True
+        if self._dispatcher is not None:
+            self._wake.set()
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        self.registry.counter(f"serve.{name}").inc(n)
+
+    def _gauge_depths(self) -> None:
+        self.registry.gauge("serve.queue_depth").set(float(self._queued_total))
+        self.registry.gauge("serve.running").set(float(self._running))
+
+    def _tenant(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = self._tenants[name] = _TenantState(name)
+            self._rr.append(name)
+        return state
+
+    def retry_after_estimate(self, n_points: int = 1) -> float:
+        """Seconds until ``n_points`` of backlog likely clears (clamped)."""
+        backlog = self._queued_total + self._running + n_points
+        estimate = backlog * self._ewma_point_s / max(self.width, 1)
+        return min(max(estimate, 0.25), 60.0)
+
+    def submit(self, request: SweepRequest) -> List[Ticket]:
+        """Admit a sweep request atomically; one ticket per point.
+
+        Never awaits, so classification (coalesce / cache / fresh),
+        quota checks and enqueueing are a single atomic step under the
+        event loop.  Raises :class:`ServerDraining` during shutdown and
+        :class:`QuotaExceeded` when the *fresh* work in the request
+        (coalesced and cached points are free) would overflow the
+        tenant quota or the global queue bound — in which case nothing
+        is admitted.
+        """
+        if self._draining:
+            raise ServerDraining("server is draining; retry against a peer")
+        loop = asyncio.get_running_loop()
+        tenant = self._tenant(request.tenant)
+        self._count("requests")
+        self._count("points", len(request.points))
+
+        # Pass 1: classify every point without mutating engine state.
+        plan: List[Tuple[object, str, object]] = []  # (point, kind, payload)
+        fresh_digests: Dict[str, None] = {}
+        for point in request.points:
+            shared = self._inflight.get(point.digest)
+            if shared is not None or point.digest in fresh_digests:
+                plan.append((point, "coalesced", shared))
+                continue
+            if self.cache is not None:
+                result = self.cache.get_result(point.config)
+                if result is not None:
+                    plan.append((point, "cached", result))
+                    continue
+            fresh_digests[point.digest] = None
+            plan.append((point, "fresh", None))
+
+        n_fresh = len(fresh_digests)
+        if tenant.in_use + n_fresh > self.tenant_quota:
+            tenant.rejected += 1
+            self._count("rejected")
+            raise QuotaExceeded(
+                f"tenant {tenant.name!r} quota exceeded "
+                f"({tenant.in_use} in use + {n_fresh} requested > "
+                f"{self.tenant_quota})",
+                self.retry_after_estimate(n_fresh),
+            )
+        if self._queued_total + n_fresh > self.max_queue:
+            tenant.rejected += 1
+            self._count("rejected")
+            raise QuotaExceeded(
+                f"server queue full ({self._queued_total} queued + "
+                f"{n_fresh} requested > {self.max_queue})",
+                self.retry_after_estimate(n_fresh),
+            )
+
+        # Pass 2: commit.  No awaits above or below — all or nothing.
+        tenant.submitted += 1
+        tickets: List[Ticket] = []
+        for point, kind, payload in plan:
+            if kind == "coalesced":
+                future = (
+                    payload
+                    if payload is not None
+                    else self._inflight[point.digest]
+                )
+                self._count("coalesced")
+            elif kind == "cached":
+                future = loop.create_future()
+                future.set_result(
+                    PointPayload(
+                        digest=point.digest,
+                        result_digest=result_digest(payload),
+                        summary=payload.summary(),
+                    )
+                )
+                self._count("cache_hits")
+            else:
+                future = loop.create_future()
+                self._inflight[point.digest] = future
+                work = _Work(
+                    point.config,
+                    point.digest,
+                    config_digest(replace(point.config, seed=0)),
+                    tenant.name,
+                )
+                tenant.queue.append(work)
+                tenant.in_use += 1
+                self._queued_total += 1
+                self._count("queued")
+            tickets.append(
+                Ticket(
+                    index=point.index,
+                    digest=point.digest,
+                    future=future,
+                    source="queued" if kind == "fresh" else kind,
+                )
+            )
+        self._gauge_depths()
+        self._wake.set()
+        return tickets
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _next_chunk(self) -> Optional[List[_Work]]:
+        """Pop the next fair-share work chunk, or None if all queues idle.
+
+        Round-robin: tenants are cycled in first-seen order and each
+        turn takes one item — or, with batching on, one lockstep chunk
+        of up to ``batch_size`` same-cell (everything-but-seed) points
+        from the *front* of that tenant's queue; chunking never reaches
+        past a differing config, preserving per-tenant FIFO order.
+        """
+        for _ in range(len(self._rr)):
+            name = self._rr[0]
+            self._rr.rotate(-1)
+            queue = self._tenants[name].queue
+            if not queue:
+                continue
+            first = queue.popleft()
+            chunk = [first]
+            if self.batch_size is not None:
+                while (
+                    len(chunk) < self.batch_size
+                    and queue
+                    and queue[0].group_key == first.group_key
+                ):
+                    chunk.append(queue.popleft())
+            self._queued_total -= len(chunk)
+            self._gauge_depths()
+            return chunk
+        return None
+
+    async def _dispatch_loop(self) -> None:
+        assert self._slots is not None
+        while True:
+            chunk = self._next_chunk()
+            if chunk is None:
+                self._wake.clear()
+                if self._draining and not self._inflight:
+                    return
+                await self._wake.wait()
+                continue
+            await self._slots.acquire()
+            self._running += len(chunk)
+            self._gauge_depths()
+            asyncio.get_running_loop().create_task(self._execute(chunk))
+
+    async def _run_in_pool(self, chunk: List[_Work]):
+        loop = asyncio.get_running_loop()
+        if len(chunk) == 1:
+            result = await loop.run_in_executor(
+                self._pool, _point_worker, chunk[0].config
+            )
+            return [result]
+        return await loop.run_in_executor(
+            self._pool,
+            _chunk_worker,
+            chunk[0].config,
+            [work.seed for work in chunk],
+        )
+
+    async def _execute(self, chunk: List[_Work]) -> None:
+        """Run one chunk on the fleet; resolve futures; survive pool death."""
+        assert self._slots is not None
+        started = time.perf_counter()
+        if len(chunk) > 1:
+            self._count("batch_chunks")
+        try:
+            attempts = 0
+            while True:
+                generation = self._pool_generation
+                try:
+                    results = await self._run_in_pool(chunk)
+                    break
+                except BrokenExecutor as exc:
+                    # The pool died under this chunk (e.g. a worker was
+                    # OOM-killed).  Rebuild once per generation and
+                    # retry the interrupted work, like the campaign
+                    # executor does.
+                    attempts += 1
+                    if generation == self._pool_generation:
+                        self._make_pool()
+                        self._count("pool_rebuilds")
+                    if attempts >= self.max_attempts:
+                        self._fail(chunk, f"worker pool died: {exc}")
+                        return
+                except Exception as exc:  # deterministic sim failure
+                    self._fail(chunk, f"{type(exc).__name__}: {exc}")
+                    return
+            elapsed = time.perf_counter() - started
+            per_point = elapsed / len(chunk)
+            self._ewma_point_s += 0.2 * (per_point - self._ewma_point_s)
+            self.registry.histogram(
+                "serve.point_seconds", (0.01, 0.1, 0.5, 1.0, 5.0, 30.0)
+            ).observe(per_point)
+            for work, result in zip(chunk, results):
+                payload = PointPayload(
+                    digest=work.digest,
+                    result_digest=result_digest(result),
+                    summary=result.summary(),
+                )
+                if self.cache is not None:
+                    try:
+                        self.cache.put_result(work.config, result)
+                    except OSError:
+                        self._count("cache_put_errors")
+                self._resolve(work, payload)
+            self._count("computed", len(chunk))
+        finally:
+            self._running -= len(chunk)
+            self._gauge_depths()
+            self._slots.release()
+            self._wake.set()
+
+    def _resolve(self, work: _Work, payload: PointPayload) -> None:
+        future = self._inflight.pop(work.digest, None)
+        if future is not None and not future.done():
+            future.set_result(payload)
+        tenant = self._tenants[work.tenant]
+        tenant.in_use -= 1
+        tenant.completed += 1
+
+    def _fail(self, chunk: List[_Work], error: str) -> None:
+        self._count("errors", len(chunk))
+        for work in chunk:
+            future = self._inflight.pop(work.digest, None)
+            if future is not None and not future.done():
+                future.set_exception(RuntimeError(error))
+            tenant = self._tenants[work.tenant]
+            tenant.in_use -= 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """Whether the engine has stopped admitting new work."""
+        return self._draining
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready engine state for the ``/status`` document."""
+        counters = self.registry.snapshot().get("counters", {})
+        return {
+            "jobs": self.jobs,
+            "width": self.width,
+            "batch_size": self.batch_size,
+            "draining": self._draining,
+            "queued": self._queued_total,
+            "running": self._running,
+            "inflight_digests": len(self._inflight),
+            "max_queue": self.max_queue,
+            "tenant_quota": self.tenant_quota,
+            "ewma_point_s": self._ewma_point_s,
+            "counters": {
+                name: value
+                for name, value in counters.items()  # type: ignore[union-attr]
+                if name.startswith("serve.")
+            },
+            "tenants": {
+                name: state.as_dict()
+                for name, state in sorted(self._tenants.items())
+            },
+        }

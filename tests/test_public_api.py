@@ -32,6 +32,7 @@ PACKAGES = [
     "repro.obs",
     "repro.platform",
     "repro.power",
+    "repro.serve",
     "repro.sim",
     "repro.telemetry",
     "repro.testing",
