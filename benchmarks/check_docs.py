@@ -1,21 +1,26 @@
 #!/usr/bin/env python
-"""Documentation hygiene checks: internal links and docstring coverage.
+"""Documentation hygiene checks: links, orphan guides, docstrings.
 
-Two independent gates, both stdlib-only:
+Three independent gates, all stdlib-only:
 
 * **Link check** — every relative Markdown link in ``README.md`` and
   ``docs/**/*.md`` must point at a file that exists (external
   ``http(s)``/``mailto`` links and pure ``#anchor`` links are skipped;
   anchors on relative links are stripped before the existence check).
 
-* **Docstring lint** — every public module, class, function, and public
-  method under the lint roots (``repro.cache``, ``repro.campaign``, ``repro.telemetry``,
-  ``repro.obs``, ``repro.verify``) must carry a docstring.  "Public" means: reachable via
-  a name that does not start with ``_``.  Inherited members defined
-  outside the linted package are not re-linted.
+* **Orphan-guide check** — every guide page directly under ``docs/``
+  must be reachable from the ``docs/index.md`` landing page, so no
+  guide silently drops out of the documentation graph.
 
-Exit status is non-zero if either gate fails; CI runs this in the docs
-job so undocumented surface or dead links fail the build.
+* **Docstring lint** — every public module, class, function, and public
+  method under the lint roots (see ``LINT_ROOTS``) must carry a
+  docstring.  "Public" means: reachable via a name that does not start
+  with ``_``.  Inherited members defined outside the linted package are
+  not re-linted.
+
+Exit status is non-zero if any gate fails; CI runs this in the docs
+job so undocumented surface, dead links, or orphan guides fail the
+build.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LINT_ROOTS = [
     "repro.cache",
     "repro.campaign",
+    "repro.dse",
     "repro.obs",
     "repro.serve",
     "repro.telemetry",
@@ -78,6 +84,39 @@ def check_links() -> list:
             resolved = os.path.normpath(os.path.join(base, target_path))
             if not os.path.exists(resolved):
                 problems.append(f"{rel_path}: dead link -> {target}")
+    return problems
+
+
+def check_orphan_guides() -> list:
+    """Guide pages under ``docs/`` not linked from ``docs/index.md``.
+
+    Only top-level guides are gated; the generated ``docs/api/`` tree
+    is reachable through ``docs/api/index.md`` and regenerated
+    wholesale, so it polices itself via ``gen_api_docs.py --check``.
+    """
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    index_path = os.path.join(docs_dir, "index.md")
+    if not os.path.exists(index_path):
+        return ["docs/index.md: missing (the landing page is mandatory)"]
+    text = open(index_path, encoding="utf-8").read()
+    linked = set()
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        linked.add(os.path.normpath(os.path.join(docs_dir, target_path)))
+    problems = []
+    for filename in sorted(os.listdir(docs_dir)):
+        if not filename.endswith(".md") or filename == "index.md":
+            continue
+        if os.path.join(docs_dir, filename) not in linked:
+            problems.append(
+                f"docs/{filename}: orphan guide (not linked from "
+                f"docs/index.md)"
+            )
     return problems
 
 
@@ -158,6 +197,13 @@ def main(argv=None) -> int:
             failed = True
         else:
             print(f"links ok ({len(doc_files())} files scanned)")
+        orphans = check_orphan_guides()
+        for problem in orphans:
+            print(problem, file=sys.stderr)
+        if orphans:
+            failed = True
+        else:
+            print("guides ok (all reachable from docs/index.md)")
     if not args.links_only:
         missing = check_docstrings()
         for name in missing:

@@ -51,6 +51,7 @@ from repro.campaign.spec import (
     StopRule,
     cell_digest,
     cell_label,
+    freeze_cell,
 )
 from repro.campaign.store import (
     FailureLog,
@@ -78,6 +79,7 @@ __all__ = [
     "cell_digest",
     "cell_label",
     "default_worker",
+    "freeze_cell",
     "load_spec",
     "plan_missing",
     "record_from_result",

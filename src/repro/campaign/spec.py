@@ -8,6 +8,15 @@ That digest is the campaign's unit of identity everywhere — the
 checkpoint store keys completed results by it, the executor attributes
 failures to it, and resume skips it.
 
+Cells come from one of two sources:
+
+* a **grid** — the cross-product of per-field value lists (the classic
+  sweep);
+* an explicit **cell list** (``fixed_cells`` / JSON key ``"cells"``) —
+  arbitrary override dicts that need not form a cross-product.  This is
+  what search layers (:mod:`repro.dse`) use: a generation of proposed
+  candidates is exactly a list of cells.
+
 Two sampling modes:
 
 * **fixed** — ``seeds.count`` replicas per cell, planned up front;
@@ -159,16 +168,26 @@ class CampaignSpec:
     name: str
     base: Tuple[Tuple[str, object], ...] = ()
     grid: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    #: Explicit cell list (JSON key ``"cells"``), mutually exclusive
+    #: with ``grid``: arbitrary per-cell overrides that need not form a
+    #: cross-product.  Cells are canonicalized to sorted field order.
+    fixed_cells: Tuple[Cell, ...] = ()
     seeds: SeedPlan = field(default_factory=SeedPlan)
     stop: Optional[StopRule] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("campaign name must be non-empty")
+        if self.grid and self.fixed_cells:
+            raise ValueError(
+                "a campaign takes either a grid or an explicit cell "
+                "list, not both"
+            )
         known = {f.name for f in dataclasses.fields(SystemConfig)}
         for source, keys in (
             ("base", [k for k, _ in self.base]),
             ("grid", [k for k, _ in self.grid]),
+            ("cells", [k for cell in self.fixed_cells for k, _ in cell]),
         ):
             unknown = [k for k in keys if k not in known]
             if unknown:
@@ -183,6 +202,15 @@ class CampaignSpec:
         for name, values in self.grid:
             if not values:
                 raise ValueError(f"grid field {name!r} has no values")
+        if self.fixed_cells:
+            seen = set()
+            for cell in self.fixed_cells:
+                key = tuple(sorted(cell))
+                if key in seen:
+                    raise ValueError(
+                        f"duplicate cell in cell list: {cell_label(cell)}"
+                    )
+                seen.add(key)
 
     # ------------------------------------------------------------------
     # Construction / serialisation
@@ -190,14 +218,19 @@ class CampaignSpec:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
         """Build a spec from a plain dict (e.g. parsed spec.json)."""
-        known = {"schema", "name", "base", "grid", "seeds", "stop"}
+        known = {"schema", "name", "base", "grid", "cells", "seeds", "stop"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown campaign spec keys: {sorted(unknown)}")
         base = data.get("base") or {}
         grid = data.get("grid") or {}
+        cells = data.get("cells") or []
         if not isinstance(base, dict) or not isinstance(grid, dict):
             raise ValueError("'base' and 'grid' must be JSON objects")
+        if not isinstance(cells, list) or any(
+            not isinstance(cell, dict) for cell in cells
+        ):
+            raise ValueError("'cells' must be a JSON array of objects")
         seeds_data = data.get("seeds") or {}
         stop_data = data.get("stop")
         return cls(
@@ -207,6 +240,7 @@ class CampaignSpec:
                 (k, tuple(freeze_value(v) for v in values))
                 for k, values in grid.items()
             ),
+            fixed_cells=tuple(freeze_cell(cell) for cell in cells),
             seeds=SeedPlan(**seeds_data),
             stop=StopRule(**stop_data) if stop_data else None,
         )
@@ -227,7 +261,7 @@ class CampaignSpec:
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form, the inverse of :meth:`from_dict`."""
-        return {
+        data = {
             "schema": 1,
             "name": self.name,
             "base": {k: _thaw(v) for k, v in self.base},
@@ -235,6 +269,13 @@ class CampaignSpec:
             "seeds": self.seeds.to_dict(),
             "stop": self.stop.to_dict() if self.stop else None,
         }
+        if self.fixed_cells:
+            # Key omitted when empty so grid-spec digests predate this
+            # field unchanged.
+            data["cells"] = [
+                {k: _thaw(v) for k, v in cell} for cell in self.fixed_cells
+            ]
+        return data
 
     def to_json(self) -> str:
         """Serialize to the canonical JSON form (sorted keys)."""
@@ -259,7 +300,13 @@ class CampaignSpec:
         return self.stop is not None
 
     def cells(self) -> List[Cell]:
-        """Grid cross-product, in spec order (one empty cell if no grid)."""
+        """The campaign's cells, in spec order.
+
+        Grid mode yields the cross-product; an explicit cell list yields
+        itself; neither yields one empty (all-defaults) cell.
+        """
+        if self.fixed_cells:
+            return list(self.fixed_cells)
         if not self.grid:
             return [()]
         names = [name for name, _ in self.grid]
@@ -310,6 +357,14 @@ def freeze_value(value: object) -> object:
     if isinstance(value, list):
         return tuple(freeze_value(v) for v in value)
     return value
+
+
+def freeze_cell(overrides: Dict[str, object]) -> Cell:
+    """Override dict -> canonical hashable cell (sorted field order)."""
+    return tuple(
+        (str(name), freeze_value(value))
+        for name, value in sorted(overrides.items())
+    )
 
 
 def _thaw(value: object) -> object:

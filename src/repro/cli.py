@@ -146,20 +146,52 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one simulation")
-    run_p.add_argument("--config", help="JSON config file to start from")
-    run_p.add_argument("--scenario", choices=sorted(SCENARIOS))
-    run_p.add_argument("--node", choices=node_names())
-    run_p.add_argument("--tdp-w", type=float)
-    run_p.add_argument("--horizon-ms", type=float)
-    run_p.add_argument("--rate-per-ms", type=float)
-    run_p.add_argument("--seed", type=int)
-    run_p.add_argument("--mapper", choices=_POLICY_CHOICES["mapper"])
-    run_p.add_argument("--power-policy", choices=_POLICY_CHOICES["power_policy"])
-    run_p.add_argument("--test-policy", choices=_POLICY_CHOICES["test_policy"])
-    run_p.add_argument("--thermal", action="store_true", help="enable RC thermal model")
-    run_p.add_argument("--variation", action="store_true", help="enable process variation")
-    run_p.add_argument("--save-config", help="write the effective config JSON here")
-    run_p.add_argument("--export-trace", help="write the power/count traces as CSV here")
+    run_p.add_argument(
+        "--config", metavar="PATH", help="JSON config file to start from"
+    )
+    run_p.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), help="workload scenario"
+    )
+    run_p.add_argument(
+        "--node", choices=node_names(), help="technology node"
+    )
+    run_p.add_argument(
+        "--tdp-w", type=float, metavar="W", help="TDP power budget in watts"
+    )
+    run_p.add_argument(
+        "--horizon-ms", type=float, metavar="MS",
+        help="simulation horizon in milliseconds",
+    )
+    run_p.add_argument(
+        "--rate-per-ms", type=float, metavar="RATE",
+        help="task arrival rate per millisecond",
+    )
+    run_p.add_argument("--seed", type=int, metavar="N", help="base RNG seed")
+    run_p.add_argument(
+        "--mapper", choices=_POLICY_CHOICES["mapper"], help="mapping policy"
+    )
+    run_p.add_argument(
+        "--power-policy", choices=_POLICY_CHOICES["power_policy"],
+        help="power budgeting policy",
+    )
+    run_p.add_argument(
+        "--test-policy", choices=_POLICY_CHOICES["test_policy"],
+        help="online test scheduling policy",
+    )
+    run_p.add_argument(
+        "--thermal", action="store_true", help="enable RC thermal model"
+    )
+    run_p.add_argument(
+        "--variation", action="store_true", help="enable process variation"
+    )
+    run_p.add_argument(
+        "--save-config", metavar="PATH",
+        help="write the effective config JSON here",
+    )
+    run_p.add_argument(
+        "--export-trace", metavar="PATH",
+        help="write the power/count traces as CSV here",
+    )
     run_p.add_argument(
         "--journal", metavar="PATH",
         help="enable the event journal and write it as JSONL here",
@@ -187,9 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp_p = sub.add_parser("experiment", help="run experiments by id")
     exp_p.add_argument("ids", nargs="+", help="experiment ids, e.g. E2 E9 A4")
-    exp_p.add_argument("--horizon-us", type=float, help="override the horizon")
     exp_p.add_argument(
-        "--jobs", type=_jobs_arg, default=None,
+        "--horizon-us", type=float, metavar="US",
+        help="override the horizon in microseconds",
+    )
+    exp_p.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N",
         help="worker processes for the experiment's independent runs "
              "(results are identical to a serial run)",
     )
@@ -198,18 +233,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser("sweep", help="sweep one config field")
     sweep_p.add_argument("field", help="SystemConfig field, e.g. tdp_w")
     sweep_p.add_argument("values", help="comma-separated values, e.g. 40,60,80")
-    sweep_p.add_argument("--horizon-ms", type=float, default=30.0)
-    sweep_p.add_argument("--seed", type=int, default=1)
     sweep_p.add_argument(
-        "--jobs", type=_jobs_arg, default=None,
+        "--horizon-ms", type=float, default=30.0, metavar="MS",
+        help="simulation horizon in milliseconds (default 30)",
+    )
+    sweep_p.add_argument(
+        "--seed", type=int, default=1, metavar="N",
+        help="base RNG seed (default 1)",
+    )
+    sweep_p.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N",
         help="worker processes for the sweep points "
              "(results are identical to a serial run)",
     )
     sweep_p.add_argument(
-        "--batch-size", type=_batch_size_arg, default=None, metavar="B",
-        help="lockstep batch width: run seed-replica groups B lanes at "
-             "a time through the batch engine (results are digest-"
-             "identical to unbatched runs)",
+        "--batch-size", type=_batch_size_arg, default=None, metavar="N",
+        help="lockstep batch width: seed-replica lanes per batch-engine "
+             "group (results are digest-identical to unbatched runs)",
     )
     _add_cache_flags(sweep_p)
 
@@ -220,7 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="print events whose type starts with PREFIX (e.g. test.)",
     )
     obs_p.add_argument(
-        "--core", type=int, help="restrict --type output to one core id"
+        "--core", type=int, metavar="ID",
+        help="restrict --type output to one core id",
     )
     obs_p.add_argument(
         "--tail", type=int, metavar="N", help="print only the last N matches"
@@ -238,21 +279,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _campaign_exec_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
-            "--jobs", type=_jobs_arg, default=None,
+            "--jobs", type=_jobs_arg, default=None, metavar="N",
             help="worker processes (0/1 = serial; aggregates are "
                  "identical either way)",
         )
         p.add_argument(
-            "--timeout-s", type=float, default=None,
+            "--timeout-s", type=float, default=None, metavar="SECONDS",
             help="per-run timeout in seconds (timed-out runs are "
                  "retried, then quarantined)",
         )
         p.add_argument(
-            "--max-attempts", type=int, default=3,
+            "--max-attempts", type=int, default=3, metavar="N",
             help="attempts per point before quarantine (default 3)",
         )
         p.add_argument(
-            "--backoff-s", type=float, default=0.5,
+            "--backoff-s", type=float, default=0.5, metavar="SECONDS",
             help="base retry backoff in seconds (default 0.5, doubles "
                  "per failure, capped)",
         )
@@ -274,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp_run.add_argument("spec", help="campaign spec JSON file")
     camp_run.add_argument(
-        "--dir", required=True, dest="campaign_dir",
+        "--dir", required=True, dest="campaign_dir", metavar="DIR",
         help="campaign directory (checkpoint store lives here)",
     )
     _campaign_exec_args(camp_run)
@@ -307,6 +348,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw status document as JSON",
     )
 
+    dse_p = sub.add_parser(
+        "dse",
+        help="surrogate-guided design-space exploration "
+             "(run/report/front; see docs/dse.md)",
+    )
+    dse_sub = dse_p.add_subparsers(dest="dse_command", required=True)
+
+    dse_run = dse_sub.add_parser(
+        "run", help="run or resume a search from a dse spec JSON"
+    )
+    dse_run.add_argument(
+        "spec", nargs="?", default=None,
+        help="dse spec JSON file (omit to resume an existing "
+             "search directory)",
+    )
+    dse_run.add_argument(
+        "--dir", required=True, dest="search_dir", metavar="DIR",
+        help="search directory (spec, generation campaigns, cache and "
+             "front.json live here)",
+    )
+    dse_run.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N",
+        help="worker processes per generation campaign (0/1 = serial; "
+             "fronts are identical either way)",
+    )
+    dse_run.add_argument(
+        "--batch-size", type=_batch_size_arg, default=None, metavar="N",
+        help="lockstep batch width: seed-replica lanes per batch-engine "
+             "group (results are digest-identical to unbatched runs)",
+    )
+    dse_run.add_argument(
+        "--interrupt-after", type=int, default=None, metavar="N",
+        help="testing/ops hook: simulate a crash after N checkpointed "
+             "results (exit code 3; rerunning resumes)",
+    )
+    dse_run.add_argument(
+        "--no-telemetry", action="store_true",
+        help="skip dse.* counters and per-generation status files "
+             "(results are identical either way)",
+    )
+    dse_run.add_argument(
+        "--no-cache", action="store_true",
+        help="force cold evaluation (skip the search-local run cache)",
+    )
+    dse_run.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="run-cache directory (default: <search-dir>/cache)",
+    )
+
+    dse_rep = dse_sub.add_parser(
+        "report", help="print counters and front of a search directory"
+    )
+    dse_rep.add_argument(
+        "search_dir", help="search directory with spec.json"
+    )
+    dse_rep.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw report document as JSON",
+    )
+
+    dse_front = dse_sub.add_parser(
+        "front", help="rank the Pareto front of a finished search"
+    )
+    dse_front.add_argument(
+        "search_dir", help="search directory with front.json"
+    )
+    dse_front.add_argument(
+        "--weights", metavar="W1,W2,...", default=None,
+        help="weighted-sum MCDM weights, one per objective "
+             "(default: equal weights)",
+    )
+    dse_front.add_argument(
+        "--lex", metavar="OBJ1,OBJ2,...", default=None,
+        help="lexicographic MCDM instead: objective names by "
+             "decreasing priority (must mention every objective)",
+    )
+    dse_front.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="FRACTION",
+        help="lexicographic tolerance band as a fraction of each "
+             "objective's span (default 0 = strict)",
+    )
+    dse_front.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="print only the N best-ranked points",
+    )
+    dse_front.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the ranked points as JSON",
+    )
+
     top_p = sub.add_parser(
         "top", help="one-line live status per campaign directory"
     )
@@ -332,10 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(HTTP + JSONL streaming; see docs/serving.md)",
     )
     serve_p.add_argument(
-        "--host", default="127.0.0.1", help="bind address (default localhost)"
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default localhost)",
     )
     serve_p.add_argument(
-        "--port", type=int, default=8742,
+        "--port", type=int, default=8742, metavar="PORT",
         help="TCP port; 0 picks an ephemeral port (default 8742)",
     )
     serve_p.add_argument(
@@ -349,13 +481,14 @@ def build_parser() -> argparse.ArgumentParser:
              "status/metrics exports (default ./serve-state)",
     )
     serve_p.add_argument(
-        "--jobs", type=_jobs_arg, default=0,
+        "--jobs", type=_jobs_arg, default=0, metavar="N",
         help="worker processes for sweep points (0 = in-process "
              "threads; results are identical either way)",
     )
     serve_p.add_argument(
-        "--batch-size", type=_batch_size_arg, default=None, metavar="B",
-        help="lockstep batch width for seed-replica groups",
+        "--batch-size", type=_batch_size_arg, default=None, metavar="N",
+        help="lockstep batch width: seed-replica lanes per batch-engine "
+             "group (results are digest-identical to unbatched runs)",
     )
     serve_p.add_argument(
         "--max-queue", type=int, default=1024, metavar="N",
@@ -440,10 +573,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment ids to certify (default: E1..E9)",
     )
     ver_inv.add_argument(
-        "--horizon-ms", type=float, default=20.0,
-        help="horizon per run in ms (default 20)",
+        "--horizon-ms", type=float, default=20.0, metavar="MS",
+        help="horizon per run in milliseconds (default 20)",
     )
-    ver_inv.add_argument("--seed", type=int, default=11)
+    ver_inv.add_argument(
+        "--seed", type=int, default=11, metavar="N",
+        help="base RNG seed (default 11)",
+    )
 
     ver_rel = ver_sub.add_parser(
         "relations", help="check the metamorphic relation suite"
@@ -454,12 +590,15 @@ def build_parser() -> argparse.ArgumentParser:
              "docs/verification.md)",
     )
     ver_rel.add_argument(
-        "--horizon-ms", type=float, default=20.0,
-        help="horizon per run in ms (default 20)",
+        "--horizon-ms", type=float, default=20.0, metavar="MS",
+        help="horizon per run in milliseconds (default 20)",
     )
-    ver_rel.add_argument("--seed", type=int, default=11)
     ver_rel.add_argument(
-        "--jobs", type=_jobs_arg, default=None,
+        "--seed", type=int, default=11, metavar="N",
+        help="base RNG seed (default 11)",
+    )
+    ver_rel.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N",
         help="worker processes for the relation runs",
     )
     _add_cache_flags(ver_rel)
@@ -472,8 +611,8 @@ def build_parser() -> argparse.ArgumentParser:
         "journal", help="JSONL journal written by run --journal --verify"
     )
     ver_rep.add_argument(
-        "--tolerance-w", type=float, default=1e-9,
-        help="per-channel disagreement tolerance in W (default 1e-9)",
+        "--tolerance-w", type=float, default=1e-9, metavar="W",
+        help="per-channel disagreement tolerance in watts (default 1e-9)",
     )
 
     sub.add_parser("list", help="show experiments, scenarios, nodes, policies")
@@ -832,6 +971,142 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dse(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.dse import (
+        DseSpec,
+        SearchInterrupted,
+        lexicographic_ranking,
+        load_front,
+        report_search,
+        run_search,
+        weighted_sum_ranking,
+    )
+    from repro.dse.search import FRONT_FILE, REPORT_FILE
+
+    if args.dse_command == "report":
+        try:
+            outcome = report_search(args.search_dir)
+        except (OSError, ValueError) as exc:
+            print(f"cannot report search: {exc}", file=sys.stderr)
+            return 2
+        if args.as_json:
+            with open(
+                os.path.join(args.search_dir, REPORT_FILE),
+                "r", encoding="utf-8",
+            ) as handle:
+                print(handle.read(), end="")
+        else:
+            print(outcome.render())
+        return 0
+
+    if args.dse_command == "front":
+        if args.weights and args.lex:
+            print("--weights and --lex are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        try:
+            doc = load_front(args.search_dir)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load front: {exc}", file=sys.stderr)
+            return 2
+        names = list(doc["objectives"])
+        senses = list(doc["senses"])
+        points = list(doc["points"])
+        if not points:
+            print("front is empty (no candidates evaluated yet)")
+            return 0
+        vectors = [
+            tuple(p["objectives"][n] for n in names) for p in points
+        ]
+        digests = [p["cell_digest"] for p in points]
+        try:
+            if args.lex:
+                order_names = [s.strip() for s in args.lex.split(",")]
+                if sorted(order_names) != sorted(names):
+                    raise ValueError(
+                        f"--lex must mention every objective exactly "
+                        f"once; objectives are {names}"
+                    )
+                order = [names.index(n) for n in order_names]
+                ranking = lexicographic_ranking(
+                    vectors, senses, order,
+                    tolerance=args.tolerance, tie_break=digests,
+                )
+            else:
+                weights = (
+                    [float(w) for w in args.weights.split(",")]
+                    if args.weights
+                    else None
+                )
+                ranking = weighted_sum_ranking(
+                    vectors, senses, weights, tie_break=digests
+                )
+        except ValueError as exc:
+            print(f"cannot rank front: {exc}", file=sys.stderr)
+            return 2
+        if args.top is not None:
+            ranking = ranking[: args.top]
+        if args.as_json:
+            print(json.dumps(
+                [points[i] for i in ranking], indent=2, sort_keys=True
+            ))
+            return 0
+        rows = []
+        for rank, i in enumerate(ranking, start=1):
+            point = points[i]
+            params = " ".join(
+                f"{k}={v}" for k, v in sorted(point["params"].items())
+            )
+            rows.append(
+                [rank, digests[i][:12]]
+                + [point["objectives"][n] for n in names]
+                + [params]
+            )
+        print(format_table(
+            ["rank", "cell"] + names + ["params"],
+            rows,
+            title=(
+                f"{doc['name']}: {len(points)} front point(s) of "
+                f"{doc['n_evaluated']} evaluated"
+            ),
+        ))
+        return 0
+
+    # run
+    cache: object = None
+    if args.no_cache:
+        cache = False
+    elif args.cache_dir:
+        from repro.cache import RunCache
+
+        cache = RunCache(cache_dir=args.cache_dir)
+    try:
+        spec = DseSpec.load(args.spec) if args.spec else None
+        outcome = run_search(
+            args.search_dir,
+            spec=spec,
+            jobs=args.jobs,
+            batch=args.batch_size,
+            cache=cache,
+            interrupt_after=args.interrupt_after,
+            telemetry=not args.no_telemetry,
+        )
+    except SearchInterrupted as exc:
+        print(str(exc), file=sys.stderr)
+        return 3
+    except (OSError, ValueError) as exc:
+        print(f"search failed: {exc}", file=sys.stderr)
+        return 2
+    print(outcome.render())
+    print(
+        f"front written to {args.search_dir}/{FRONT_FILE}, "
+        f"report to {args.search_dir}/{REPORT_FILE}"
+    )
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.cache import RunCache, default_cache_dir
 
@@ -1122,6 +1397,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "obs": cmd_obs,
     "campaign": cmd_campaign,
+    "dse": cmd_dse,
     "cache": cmd_cache,
     "verify": cmd_verify,
     "top": cmd_top,

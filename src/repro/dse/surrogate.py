@@ -1,0 +1,167 @@
+"""Cheap regression surrogates for pruning candidates before simulating.
+
+A full evaluation of one candidate costs ``seeds x horizon`` of
+simulation; a surrogate prediction costs a dot product.  The search
+loop fits one least-squares polynomial model per objective from the
+candidates it has *already* evaluated (all of which sit in the campaign
+checkpoint stores and the run cache anyway), predicts the objectives of
+newly proposed candidates, and skips the clearly hopeless ones.
+
+Design constraints, in order:
+
+* **Determinism** — fitting uses ``numpy.linalg.lstsq`` over rows
+  sorted by candidate digest; same archive, same coefficients, bit for
+  bit.  The surrogate carries no RNG.
+* **Never prune free work** — candidates whose true objectives are
+  already known (archive hits) are excluded from pruning by the caller:
+  re-evaluating them costs nothing, so a mispredicting surrogate cannot
+  lose ground the search has already covered.
+* **Conservatism is tunable** — :func:`prune_candidates` keeps every
+  candidate whose predicted weighted-sum score is within ``threshold``
+  of the best scored candidate of the round; ``threshold`` is in
+  normalised score units ([0, 1]).  Threshold 0 keeps only
+  predicted-best candidates and every known one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dse.pareto import ObjectiveVector
+from repro.dse.space import Candidate, SearchSpace
+
+
+def polynomial_features(x: np.ndarray, degree: int) -> np.ndarray:
+    """Expand a feature vector with interaction/square terms.
+
+    Degree 1: ``[1, x...]``; degree 2 adds every ``x_i * x_j`` with
+    ``i <= j``.  Higher degrees are rejected — at search-archive sample
+    sizes they only overfit.
+    """
+    if degree not in (1, 2):
+        raise ValueError(f"degree must be 1 or 2, got {degree}")
+    parts: List[float] = [1.0]
+    parts.extend(float(v) for v in x)
+    if degree == 2:
+        n = len(x)
+        for i in range(n):
+            for j in range(i, n):
+                parts.append(float(x[i]) * float(x[j]))
+    return np.asarray(parts, dtype=np.float64)
+
+
+@dataclass
+class PolynomialSurrogate:
+    """Per-objective least-squares polynomial regression on encoded params."""
+
+    space: SearchSpace
+    degree: int = 2
+
+    def __post_init__(self) -> None:
+        self._coefficients: Optional[np.ndarray] = None  # (n_features, k)
+        self._n_fit = 0
+
+    @property
+    def is_fit(self) -> bool:
+        """Whether :meth:`fit` has produced usable coefficients."""
+        return self._coefficients is not None
+
+    @property
+    def n_fit_points(self) -> int:
+        """How many archive points the last fit consumed."""
+        return self._n_fit
+
+    def _design_row(self, candidate: Candidate) -> np.ndarray:
+        return polynomial_features(self.space.encode(candidate), self.degree)
+
+    def fit(
+        self,
+        candidates: Sequence[Candidate],
+        targets: Sequence[ObjectiveVector],
+    ) -> None:
+        """Fit one model per objective column from evaluated points.
+
+        ``None`` target entries (undefined metrics) are excluded
+        per-column via masking.  Callers must pass candidates in a
+        deterministic order (the search sorts by cell digest) so the
+        least-squares solution is reproducible.
+        """
+        if len(candidates) != len(targets):
+            raise ValueError("candidates and targets must align")
+        if not candidates:
+            raise ValueError("cannot fit a surrogate on zero points")
+        design = np.stack([self._design_row(c) for c in candidates])
+        n_obj = len(targets[0])
+        coefficients = np.zeros((design.shape[1], n_obj), dtype=np.float64)
+        for k in range(n_obj):
+            column = np.asarray(
+                [
+                    np.nan if t[k] is None else float(t[k])
+                    for t in targets
+                ],
+                dtype=np.float64,
+            )
+            mask = ~np.isnan(column)
+            if not mask.any():
+                continue  # objective never defined yet; predict 0
+            solution, *_ = np.linalg.lstsq(
+                design[mask], column[mask], rcond=None
+            )
+            coefficients[:, k] = solution
+        self._coefficients = coefficients
+        self._n_fit = len(candidates)
+
+    def predict(
+        self, candidates: Sequence[Candidate]
+    ) -> List[ObjectiveVector]:
+        """Predicted objective vectors for each candidate."""
+        if self._coefficients is None:
+            raise RuntimeError("surrogate not fitted")
+        if not candidates:
+            return []
+        design = np.stack([self._design_row(c) for c in candidates])
+        predictions = design @ self._coefficients
+        return [tuple(float(v) for v in row) for row in predictions]
+
+
+@dataclass(frozen=True)
+class PruneOutcome:
+    """What :func:`prune_candidates` decided for one round."""
+
+    kept: List[int]      # candidate indices to evaluate
+    pruned: List[int]    # candidate indices dropped by the surrogate
+    scores: List[float]  # per-candidate scalarized score used
+
+
+def prune_candidates(
+    scores: Sequence[float],
+    known: Sequence[bool],
+    threshold: float,
+) -> PruneOutcome:
+    """Keep candidates scoring within ``threshold`` of the round's best.
+
+    ``scores`` are scalarized (higher-better, normalised) — true scores
+    for ``known`` candidates, surrogate predictions otherwise.  Known
+    candidates are *never* pruned: their evaluation is free (served from
+    the archive/cache), so dropping them could only discard information.
+    In particular the true best already-evaluated candidate survives any
+    threshold, including 0.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    if len(scores) != len(known):
+        raise ValueError("scores and known must align")
+    if not scores:
+        return PruneOutcome(kept=[], pruned=[], scores=[])
+    best = max(scores)
+    kept: List[int] = []
+    pruned: List[int] = []
+    for i, (score, is_known) in enumerate(zip(scores, known)):
+        if is_known or score >= best - threshold:
+            kept.append(i)
+        else:
+            pruned.append(i)
+    return PruneOutcome(kept=kept, pruned=pruned, scores=list(scores))

@@ -1,0 +1,462 @@
+"""Tests for repro.dse: spaces, Pareto math, surrogate pruning, search.
+
+The load-bearing guarantees pinned here, matching docs/dse.md:
+
+* the Pareto front is invariant under candidate permutations;
+* threshold-0 surrogate pruning never drops an already-evaluated
+  (cached) candidate — in particular not the true best one;
+* a killed search resumes to a byte-identical ``front.json``
+  (``front_digest`` and all).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import CampaignSpec, cell_digest, freeze_cell
+from repro.cli import main
+from repro.dse import (
+    OBJECTIVES,
+    ChoiceParam,
+    DseSpec,
+    FloatParam,
+    IntParam,
+    PolynomialSurrogate,
+    SearchInterrupted,
+    SearchSpace,
+    dominates,
+    lexicographic_ranking,
+    non_dominated_sort,
+    normalize_columns,
+    objective_vector,
+    pareto_front_indices,
+    polynomial_features,
+    prune_candidates,
+    run_search,
+    weighted_sum_ranking,
+    weighted_sum_scores,
+)
+from repro.dse.search import report_search
+
+
+def small_space():
+    return SearchSpace.from_list([
+        {"field": "max_concurrent_tests", "type": "int", "low": 2, "high": 8},
+        {"field": "guard_fraction", "type": "choice",
+         "values": [0.0, 0.02, 0.05]},
+        {"field": "min_test_interval_us", "type": "choice",
+         "values": [1500.0, 2500.0]},
+    ])
+
+
+def small_spec(**overrides):
+    data = {
+        "name": "t",
+        "base": {"width": 4, "height": 4, "horizon_us": 1200.0,
+                 "arrival_rate_per_ms": 8.0, "fault_hazard_per_us": 2e-4},
+        "space": small_space().to_list(),
+        "objectives": ["throughput", "escapes", "power"],
+        "seeds": {"start": 1, "count": 1},
+        "evolve": {"population": 4, "generations": 2, "elites": 1},
+        "surrogate": {"degree": 1, "min_points": 3, "threshold": 0.5},
+    }
+    data.update(overrides)
+    return DseSpec.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Search space
+# ----------------------------------------------------------------------
+def test_space_roundtrip_and_identity():
+    space = small_space()
+    assert SearchSpace.from_list(space.to_list()) == space
+    rng = np.random.default_rng(7)
+    candidate = space.sample(rng)
+    assert set(candidate) == set(space.names)
+    # Identity is the campaign cell digest of the resolved overrides.
+    assert space.digest_of(candidate) == cell_digest(
+        freeze_cell(candidate)
+    )
+    # Mutation always changes the candidate; crossover stays in-domain.
+    mutated = space.mutate(candidate, rng, rate=0.5, scale=0.2)
+    assert mutated != candidate
+    other = space.sample(rng)
+    child = space.crossover(candidate, other, rng)
+    space.validate_candidate(child)
+
+
+def test_space_rejects_bad_definitions():
+    with pytest.raises(ValueError, match="unknown SystemConfig field"):
+        SearchSpace.from_list(
+            [{"field": "nope", "type": "int", "low": 0, "high": 1}]
+        )
+    with pytest.raises(ValueError, match="'seed' cannot be searched"):
+        SearchSpace.from_list(
+            [{"field": "seed", "type": "int", "low": 0, "high": 1}]
+        )
+    with pytest.raises(ValueError, match="duplicate space parameter"):
+        SearchSpace.from_list([
+            {"field": "tdp_w", "type": "float", "low": 1.0, "high": 2.0},
+            {"field": "tdp_w", "type": "float", "low": 1.0, "high": 3.0},
+        ])
+    with pytest.raises(ValueError, match="unknown parameter type"):
+        SearchSpace.from_list([{"field": "tdp_w", "type": "log"}])
+
+
+def test_space_validation_and_encoding():
+    space = small_space()
+    with pytest.raises(ValueError, match="outside"):
+        space.validate_candidate({
+            "max_concurrent_tests": 99, "guard_fraction": 0.0,
+            "min_test_interval_us": 1500.0,
+        })
+    with pytest.raises(ValueError, match="missing"):
+        space.validate_candidate({"max_concurrent_tests": 4})
+    good = space.validate_candidate({
+        "max_concurrent_tests": 5, "guard_fraction": 0.02,
+        "min_test_interval_us": 2500.0,
+    })
+    encoded = space.encode(good)
+    assert encoded.shape == (space.encoded_width,)
+    assert 0.0 <= encoded.min() and encoded.max() <= 1.0
+    assert space.exhaustive_size() == 7 * 3 * 2
+
+
+def test_float_param_makes_grid_infinite():
+    space = SearchSpace(params=(
+        IntParam("max_concurrent_tests", 2, 8),
+        FloatParam("guard_fraction", 0.0, 0.1),
+    ))
+    assert space.exhaustive_size() is None
+    assert ChoiceParam("mapper", ("contiguous", "scatter")).n_values == 2
+
+
+# ----------------------------------------------------------------------
+# Pareto / MCDM
+# ----------------------------------------------------------------------
+def test_dominates_semantics():
+    senses = ["max", "min"]
+    assert dominates((2.0, 1.0), (1.0, 1.0), senses)
+    assert not dominates((1.0, 1.0), (1.0, 1.0), senses)
+    assert not dominates((2.0, 2.0), (1.0, 1.0), senses)
+    # None is always worst.
+    assert dominates((1.0, 1.0), (None, 1.0), senses)
+    assert not dominates((None, 0.0), (1.0, 1.0), senses)
+
+
+def test_non_dominated_sort_ranks_layers():
+    senses = ["max", "min"]
+    vectors = [(3.0, 1.0), (2.0, 2.0), (1.0, 3.0), (2.5, 1.5), (3.0, 1.0)]
+    ranks = non_dominated_sort(vectors, senses)
+    assert ranks[0] == 0 and ranks[4] == 0     # duplicates tie on the front
+    assert ranks[3] == 1                       # dominated by (3, 1) only
+    assert pareto_front_indices(vectors, senses) == [0, 4]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_front_invariant_under_permutation(data):
+    """Permuting the candidate list never changes the front membership."""
+    n = data.draw(st.integers(min_value=1, max_value=10))
+    value = st.one_of(
+        st.none(),
+        st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+    )
+    vectors = data.draw(
+        st.lists(st.tuples(value, value, value), min_size=n, max_size=n)
+    )
+    perm = data.draw(st.permutations(range(n)))
+    senses = ["max", "min", "min"]
+    front = set(pareto_front_indices(vectors, senses))
+    permuted_front = pareto_front_indices(
+        [vectors[i] for i in perm], senses
+    )
+    assert {perm[j] for j in permuted_front} == front
+
+
+def test_normalize_and_weighted_sum():
+    senses = ["max", "min"]
+    vectors = [(0.0, 10.0), (10.0, 0.0), (None, 5.0), (5.0, 5.0)]
+    rows = normalize_columns(vectors, senses)
+    assert rows[0] == [0.0, 0.0]
+    assert rows[1] == [1.0, 1.0]
+    assert rows[2][0] == 0.0            # None -> worst
+    assert rows[3] == [0.5, 0.5]
+    scores = weighted_sum_scores(vectors, senses)
+    assert scores[1] == max(scores)
+    ranking = weighted_sum_ranking(
+        vectors, senses, tie_break=["d", "c", "b", "a"]
+    )
+    assert ranking[0] == 1
+    with pytest.raises(ValueError, match="weight"):
+        weighted_sum_scores(vectors, senses, weights=[1.0])
+
+
+def test_lexicographic_ranking():
+    senses = ["max", "min"]
+    vectors = [(1.0, 0.0), (2.0, 10.0), (2.0, 5.0)]
+    # Strict: objective 0 first, then objective 1.
+    assert lexicographic_ranking(vectors, senses, [0, 1])[:2] == [2, 1]
+    # Objective 1 first flips the order.
+    assert lexicographic_ranking(vectors, senses, [1, 0])[0] == 0
+    # A wide tolerance band on objective 0 lets objective 1 decide.
+    assert lexicographic_ranking(
+        vectors, senses, [0, 1], tolerance=2.0
+    )[0] == 0
+    with pytest.raises(ValueError, match="permutation"):
+        lexicographic_ranking(vectors, senses, [0, 0])
+
+
+def test_objective_catalog_extractors():
+    records = [{
+        "summary": {"throughput_ops_per_us": 2.0, "avg_power_w": 5.0,
+                    "budget_violation_rate": 0.1, "tests_completed": 7},
+        "faults": [
+            {"injected_at": 10.0, "detected_at": 30.0},
+            {"injected_at": 20.0, "detected_at": None},
+        ],
+    }]
+    vec = objective_vector(
+        ["throughput", "latency", "escapes", "power", "violations",
+         "tests"],
+        records,
+    )
+    assert vec == (2.0, 20.0, 1.0, 5.0, 0.1, 7.0)
+    assert objective_vector(["latency"], [{"faults": []}]) == (None,)
+    assert sorted(OBJECTIVES) == [
+        "escapes", "latency", "power", "tests", "throughput", "violations",
+    ]
+
+
+# ----------------------------------------------------------------------
+# Surrogate
+# ----------------------------------------------------------------------
+def test_polynomial_features_shapes():
+    x = np.array([0.5, 1.0])
+    assert polynomial_features(x, 1).tolist() == [1.0, 0.5, 1.0]
+    assert len(polynomial_features(x, 2)) == 1 + 2 + 3
+    with pytest.raises(ValueError, match="degree"):
+        polynomial_features(x, 3)
+
+
+def test_surrogate_recovers_linear_objective():
+    space = small_space()
+    rng = np.random.default_rng(3)
+    candidates = [space.sample(rng) for _ in range(30)]
+
+    def truth(c):
+        return 2.0 * c["max_concurrent_tests"] - 10.0 * c["guard_fraction"]
+
+    surrogate = PolynomialSurrogate(space, degree=1)
+    surrogate.fit(candidates, [(truth(c), None) for c in candidates])
+    assert surrogate.is_fit and surrogate.n_fit_points == 30
+    probe = space.sample(rng)
+    predicted = surrogate.predict([probe])[0]
+    assert predicted[0] == pytest.approx(truth(probe), abs=1e-6)
+    assert predicted[1] == 0.0          # never-defined objective -> 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_prune_threshold_zero_keeps_every_known_point(data):
+    """Threshold 0 never drops a cached point — including the true best."""
+    n = data.draw(st.integers(min_value=1, max_value=12))
+    scores = data.draw(st.lists(
+        st.floats(-5, 5, allow_nan=False), min_size=n, max_size=n,
+    ))
+    known = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    outcome = prune_candidates(scores, known, threshold=0.0)
+    kept = set(outcome.kept)
+    assert kept.isdisjoint(outcome.pruned)
+    assert kept | set(outcome.pruned) == set(range(n))
+    for i, is_known in enumerate(known):
+        if is_known:
+            assert i in kept
+    if any(known):
+        best_known = max(
+            (i for i in range(n) if known[i]), key=lambda i: scores[i]
+        )
+        assert best_known in kept
+    # The predicted-best unknown candidate also always survives.
+    assert scores.index(max(scores)) in kept
+
+
+def test_prune_threshold_widens_the_net():
+    scores = [1.0, 0.8, 0.1]
+    known = [False, False, False]
+    assert prune_candidates(scores, known, 0.0).kept == [0]
+    assert prune_candidates(scores, known, 0.25).kept == [0, 1]
+    assert prune_candidates(scores, known, 1.0).pruned == []
+    with pytest.raises(ValueError, match="threshold"):
+        prune_candidates(scores, known, -0.1)
+
+
+# ----------------------------------------------------------------------
+# DseSpec
+# ----------------------------------------------------------------------
+def test_spec_roundtrip_and_digest():
+    spec = small_spec()
+    again = DseSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.spec_digest() == spec.spec_digest()
+
+
+def test_spec_requires_default_inside_space():
+    # SystemConfig default max_concurrent_tests (8) must be reachable.
+    with pytest.raises(ValueError, match="outside"):
+        small_spec(space=[
+            {"field": "max_concurrent_tests", "type": "int",
+             "low": 2, "high": 4},
+        ])
+
+
+def test_spec_validation_errors():
+    with pytest.raises(ValueError, match="unknown objectives"):
+        small_spec(objectives=["throughput", "beauty"])
+    with pytest.raises(ValueError, match="weight"):
+        small_spec(weights=[1.0])
+    with pytest.raises(ValueError, match="unknown dse spec keys"):
+        DseSpec.from_dict({"name": "x", "space": [], "typo": 1})
+    with pytest.raises(ValueError, match="unknown SystemConfig fields"):
+        small_spec(base={"nope": 1})
+
+
+def test_generation_rng_is_stable():
+    spec = small_spec()
+    a = spec.generation_rng(0).integers(0, 1 << 30, size=4)
+    b = spec.generation_rng(0).integers(0, 1 << 30, size=4)
+    c = spec.generation_rng(1).integers(0, 1 << 30, size=4)
+    assert a.tolist() == b.tolist()
+    assert a.tolist() != c.tolist()
+
+
+# ----------------------------------------------------------------------
+# Search end-to-end
+# ----------------------------------------------------------------------
+def test_search_runs_and_is_idempotent(tmp_path):
+    spec = small_spec()
+    search_dir = str(tmp_path / "s")
+    out1 = run_search(search_dir, spec, jobs=0)
+    assert out1.complete
+    assert out1.counters["evaluated"] >= 1
+    assert out1.front, "a completed search has a non-empty front"
+    # The paper-default candidate is always evaluated in generation 0.
+    assert out1.default["objectives"] is not None
+    front_bytes = (tmp_path / "s" / "front.json").read_bytes()
+
+    # A second invocation re-derives everything without new simulation.
+    out2 = run_search(search_dir, jobs=0)
+    assert out2.front_digest == out1.front_digest
+    assert out2.counters == out1.counters
+    assert (tmp_path / "s" / "front.json").read_bytes() == front_bytes
+
+    # report_search reads back the same outcome.
+    reported = report_search(search_dir)
+    assert reported.front_digest == out1.front_digest
+    assert reported.counters == out1.counters
+
+
+def test_search_resume_reproduces_front_digest(tmp_path):
+    """Kill mid-search, resume: front.json is byte-identical."""
+    spec = small_spec()
+    cold = str(tmp_path / "cold")
+    run_search(cold, spec, jobs=0)
+
+    killed = str(tmp_path / "killed")
+    with pytest.raises(SearchInterrupted):
+        run_search(killed, spec, jobs=0, interrupt_after=2)
+    resumed = run_search(killed, jobs=0)
+    assert resumed.complete
+    cold_front = (tmp_path / "cold" / "front.json").read_bytes()
+    killed_front = (tmp_path / "killed" / "front.json").read_bytes()
+    assert cold_front == killed_front
+    cold_report = json.loads((tmp_path / "cold" / "report.json").read_text())
+    killed_report = json.loads(
+        (tmp_path / "killed" / "report.json").read_text()
+    )
+    assert cold_report == killed_report
+
+
+def test_search_refuses_mismatched_spec(tmp_path):
+    search_dir = str(tmp_path / "s")
+    run_search(search_dir, small_spec(), jobs=0)
+    other = small_spec(name="other")
+    with pytest.raises(ValueError, match="different spec"):
+        run_search(search_dir, other, jobs=0)
+    with pytest.raises(FileNotFoundError, match="no spec was given"):
+        run_search(str(tmp_path / "missing"), None, jobs=0)
+
+
+def test_campaign_spec_fixed_cells():
+    cells = (
+        freeze_cell({"tdp_w": 30.0}),
+        freeze_cell({"tdp_w": 40.0}),
+    )
+    spec = CampaignSpec(name="c", fixed_cells=cells)
+    assert spec.cells() == list(cells)
+    data = spec.to_dict()
+    assert [dict(c) for c in cells] == data["cells"]
+    assert CampaignSpec.from_dict(data).spec_digest() == spec.spec_digest()
+    with pytest.raises(ValueError, match="not both"):
+        CampaignSpec(
+            name="c", fixed_cells=cells,
+            grid=(("tdp_w", (30.0,)),),
+        )
+    with pytest.raises(ValueError, match="duplicate"):
+        CampaignSpec(name="c", fixed_cells=(cells[0], cells[0]))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def write_cli_spec(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(small_spec().to_json())
+    return str(path)
+
+
+def test_cli_dse_run_report_front(tmp_path, capsys):
+    spec_path = write_cli_spec(tmp_path)
+    search_dir = str(tmp_path / "s")
+    assert main(["dse", "run", spec_path, "--dir", search_dir]) == 0
+    out = capsys.readouterr().out
+    assert "front digest:" in out and "front written to" in out
+
+    assert main(["dse", "report", search_dir]) == 0
+    assert "evaluated" in capsys.readouterr().out
+    assert main(["dse", "report", search_dir, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["complete"] is True
+
+    assert main(["dse", "front", search_dir, "--top", "2"]) == 0
+    assert "rank" in capsys.readouterr().out
+    assert main([
+        "dse", "front", search_dir,
+        "--lex", "escapes,power,throughput", "--json",
+    ]) == 0
+    ranked = json.loads(capsys.readouterr().out)
+    assert ranked and "cell_digest" in ranked[0]
+
+
+def test_cli_dse_interrupt_resume(tmp_path, capsys):
+    spec_path = write_cli_spec(tmp_path)
+    search_dir = str(tmp_path / "s")
+    assert main([
+        "dse", "run", spec_path, "--dir", search_dir,
+        "--interrupt-after", "2",
+    ]) == 3
+    capsys.readouterr()
+    assert main(["dse", "run", "--dir", search_dir]) == 0
+    assert "front digest:" in capsys.readouterr().out
+
+
+def test_cli_dse_error_paths(tmp_path, capsys):
+    assert main(["dse", "report", str(tmp_path / "nope")]) == 2
+    assert "cannot report search" in capsys.readouterr().err
+    assert main(["dse", "front", str(tmp_path / "nope")]) == 2
+    assert "cannot load front" in capsys.readouterr().err
+    assert main(["dse", "run", "--dir", str(tmp_path / "nope")]) == 2
+    assert "search failed" in capsys.readouterr().err

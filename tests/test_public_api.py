@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.cache",
     "repro.campaign",
     "repro.core",
+    "repro.dse",
     "repro.experiments",
     "repro.mapping",
     "repro.metrics",
