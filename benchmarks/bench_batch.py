@@ -9,13 +9,17 @@ both on the default-scale E2 workload (8x8 mesh at 16 nm):
 * **identity** (always) — every lane of a ``--batch`` lockstep run is
   compared against its scalar twin on :func:`repro.batch.result_digest`
   (summary row, per-core tallies, fault records, counters — everything
-  observable).  One diverged float anywhere breaks the gate;
+  observable).  One diverged float anywhere breaks the gate.  The
+  comparison runs twice: on the homogeneous grid and on a mixed
+  four-type grid (:data:`MIXED_TYPE_CYCLE`), so the per-lane
+  type-index column of the SoA arrays is exercised too;
 * **throughput** (``--strict`` only) — the batched kernel's best-of-
   ``--repeats`` events/s at ``--batch`` lanes must be at least
   ``--min-speedup`` (default 3x) the *recorded* scalar kernel rate in
   ``BENCH_perf.json`` — the same frozen pre-optimisation baseline the
-  fast-path gate (``bench_perf_kernel.py``) measures against.  The
-  comparison is only made when the horizon matches the recording.
+  fast-path gate (``bench_perf_kernel.py``) measures against, on both
+  the homogeneous and the mixed-type grid.  The comparison is only
+  made when the horizon matches the recording.
 
 Usage::
 
@@ -48,6 +52,11 @@ from repro.experiments.runners import DEFAULT_CONFIG
 BATCH_SEED_START = 101
 BATCH_SEED_STEP = 7
 
+#: Tile-type cycle of the mixed-grid gate: the batch engine's SoA
+#: arrays carry a per-lane type-index column, and its digest-identity
+#: and throughput-floor contracts must hold on heterogeneous grids too.
+MIXED_TYPE_CYCLE = ("std", "io", "o3", "accel")
+
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
@@ -56,9 +65,23 @@ def lane_seeds(n: int) -> list:
     return [BATCH_SEED_START + BATCH_SEED_STEP * i for i in range(n)]
 
 
-def digest_gate(horizon_us: float, batch: int) -> dict:
-    """Per-seed digest comparison: one lockstep run vs. scalar twins."""
+def mixed_type_grid(n_cores: int) -> tuple:
+    """A deterministic four-type grid cycling :data:`MIXED_TYPE_CYCLE`."""
+    cycle = MIXED_TYPE_CYCLE
+    return tuple(cycle[i % len(cycle)] for i in range(n_cores))
+
+
+def _bench_config(horizon_us: float, mixed: bool):
     config = replace(DEFAULT_CONFIG, horizon_us=horizon_us)
+    if mixed:
+        grid = mixed_type_grid(config.width * config.height)
+        config = replace(config, type_grid=grid)
+    return config
+
+
+def digest_gate(horizon_us: float, batch: int, mixed: bool = False) -> dict:
+    """Per-seed digest comparison: one lockstep run vs. scalar twins."""
+    config = _bench_config(horizon_us, mixed)
     seeds = lane_seeds(batch)
     batched = run_batch(config, seeds)
     mismatches = []
@@ -69,12 +92,15 @@ def digest_gate(horizon_us: float, batch: int) -> dict:
     return {
         "batch": batch,
         "seeds": seeds,
+        "mixed": mixed,
         "events_fired": sum(r.events_fired for r in batched),
         "mismatched_seeds": mismatches,
     }
 
 
-def throughput(horizon_us: float, batch: int, repeats: int) -> dict:
+def throughput(
+    horizon_us: float, batch: int, repeats: int, mixed: bool = False
+) -> dict:
     """Best-of-``repeats`` batched kernel rate at ``batch`` lanes.
 
     Protocol matches the ``batch`` section of ``BENCH_perf.json``:
@@ -83,7 +109,7 @@ def throughput(horizon_us: float, batch: int, repeats: int) -> dict:
     slows a run down, so the best repeat is the tightest bound on the
     true kernel speed).
     """
-    config = replace(DEFAULT_CONFIG, horizon_us=horizon_us)
+    config = _bench_config(horizon_us, mixed)
     seeds = lane_seeds(batch)
     for seed in seeds:
         ManycoreSystem(replace(config, seed=seed)).generate_arrivals()
@@ -141,26 +167,32 @@ def main(argv=None) -> int:
         f"batch gate: 8x8 mesh, {args.horizon_us / 1000:g} ms, "
         f"B={args.batch} lanes, seeds {BATCH_SEED_START}+{BATCH_SEED_STEP}k"
     )
-    identity = digest_gate(args.horizon_us, args.batch)
-    if identity["mismatched_seeds"]:
-        failures.append(
-            f"batched results diverge from scalar runs for seed(s) "
-            f"{identity['mismatched_seeds']}"
-        )
-    else:
+    identities = {}
+    rates = {}
+    for label, mixed in (("homogeneous", False), ("mixed-type", True)):
+        identity = digest_gate(args.horizon_us, args.batch, mixed=mixed)
+        identities[label] = identity
+        if identity["mismatched_seeds"]:
+            failures.append(
+                f"{label} batched results diverge from scalar runs for "
+                f"seed(s) {identity['mismatched_seeds']}"
+            )
+        else:
+            print(
+                f"digest identity ({label}): {args.batch}/{args.batch} "
+                f"lanes match their scalar twins "
+                f"({identity['events_fired']} events)"
+            )
+
+        rate = throughput(args.horizon_us, args.batch, args.repeats, mixed)
+        rates[label] = rate
         print(
-            f"digest identity: {args.batch}/{args.batch} lanes match their "
-            f"scalar twins ({identity['events_fired']} events)"
+            f"batched kernel ({label}): {rate['events_fired']} events in "
+            f"{rate['wall_s']:.2f} s -> {rate['events_per_s']:.0f} events/s "
+            f"(best of {args.repeats})"
         )
 
-    rate = throughput(args.horizon_us, args.batch, args.repeats)
-    print(
-        f"batched kernel: {rate['events_fired']} events in "
-        f"{rate['wall_s']:.2f} s -> {rate['events_per_s']:.0f} events/s "
-        f"(best of {args.repeats})"
-    )
-
-    speedup = None
+    speedups = {}
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; skipping the throughput floor")
     else:
@@ -174,27 +206,36 @@ def main(argv=None) -> int:
         elif scalar_rate <= 0:
             print("baseline has no scalar kernel rate; skipping the floor")
         else:
-            speedup = rate["events_per_s"] / scalar_rate
-            print(
-                f"vs recorded scalar kernel ({scalar_rate:.0f} events/s): "
-                f"{speedup:.2f}x (floor {args.min_speedup:g}x"
-                f"{', gated' if args.strict else ', informational'})"
-            )
-            if args.strict and speedup < args.min_speedup:
-                failures.append(
-                    f"batched events/s {speedup:.2f}x below the "
-                    f"{args.min_speedup:g}x floor vs. the recorded scalar "
-                    f"kernel"
+            # Both grids must clear the same floor against the recorded
+            # homogeneous scalar rate: heterogeneity may not cost the
+            # lockstep engine its reason to exist.
+            for label, rate in rates.items():
+                speedup = rate["events_per_s"] / scalar_rate
+                speedups[label] = speedup
+                print(
+                    f"{label} vs recorded scalar kernel "
+                    f"({scalar_rate:.0f} events/s): {speedup:.2f}x "
+                    f"(floor {args.min_speedup:g}x"
+                    f"{', gated' if args.strict else ', informational'})"
                 )
+                if args.strict and speedup < args.min_speedup:
+                    failures.append(
+                        f"{label} batched events/s {speedup:.2f}x below "
+                        f"the {args.min_speedup:g}x floor vs. the recorded "
+                        f"scalar kernel"
+                    )
 
     if args.json:
         report = {
             "horizon_us": args.horizon_us,
             "batch": args.batch,
             "repeats": args.repeats,
-            "identity": identity,
-            "throughput": rate,
-            "speedup_vs_recorded_scalar": speedup,
+            "identity": identities["homogeneous"],
+            "identity_mixed": identities["mixed-type"],
+            "throughput": rates["homogeneous"],
+            "throughput_mixed": rates["mixed-type"],
+            "speedup_vs_recorded_scalar": speedups.get("homogeneous"),
+            "speedup_vs_recorded_scalar_mixed": speedups.get("mixed-type"),
             "min_speedup": args.min_speedup,
             "strict": args.strict,
             "failures": failures,

@@ -98,8 +98,19 @@ class FaultInjector:
     records: List[FaultRecord] = field(default_factory=list)
 
     def hazard(self, core: Core) -> float:
-        return self.params.base_hazard_per_us * (
-            1.0 + core.age_stress / self.params.stress_scale
+        """Instantaneous fault hazard of ``core`` (per µs).
+
+        Scaled by the core type's ``fault_hazard_scale`` (1.0 for ``std``).
+        A zero scale pins the hazard to exactly 0, so such a core draws a
+        Bernoulli sample with p = 0 each epoch: it can never fault, yet it
+        consumes the same RNG draw as any other core, leaving the other
+        cores' fault streams untouched (the typed zero-hazard metamorphic
+        relation relies on both halves).
+        """
+        return (
+            self.params.base_hazard_per_us
+            * (1.0 + core.age_stress / self.params.stress_scale)
+            * core.core_type.fault_hazard_scale
         )
 
     def tick(self, now: float, dt: float) -> List[FaultRecord]:

@@ -62,10 +62,18 @@ class AgingModel:
     def accrue_busy(
         self, core: Core, duration_us: float, level: VFLevel, activity: float
     ) -> float:
-        """Accrue workload-execution stress on ``core``; returns the delta."""
+        """Accrue workload-execution stress on ``core``; returns the delta.
+
+        The core type's ``aging_scale`` multiplies the accrual (exactly
+        1.0 for ``std``, so homogeneous chips are bit-unchanged).
+        """
         if duration_us < 0:
             raise ValueError("duration must be non-negative")
-        delta = self.stress_rate(level, activity) * duration_us
+        delta = (
+            self.stress_rate(level, activity)
+            * duration_us
+            * core.core_type.aging_scale
+        )
         core.age_stress += delta
         core.stress_since_test += delta
         return delta
@@ -78,6 +86,7 @@ class AgingModel:
             self.stress_rate(level, 1.0)
             * self.params.test_stress_fraction
             * duration_us
+            * core.core_type.aging_scale
         )
         core.age_stress += delta
         # Note: stress_since_test is *not* increased by the test itself; the

@@ -83,8 +83,23 @@ class BatchArrays:
         self.pid_integral = np.zeros(n_lanes)
         #: PID last error per lane (mirrors ``PIDController._last_error``).
         self.pid_last_error = np.zeros(n_lanes)
+        #: Per-lane per-core index into the lane chip's core-type catalog
+        #: (``Core.type_index``).  Static for a batch — every lane runs
+        #: the same config, so every row is identical — but kept per lane
+        #: to preserve the leading-batch-axis convention.  int64 so the
+        #: SoA control plane stays fully vectorized on mixed-type grids.
+        self.type_index = np.zeros(shape, dtype=np.int64)
 
     # ------------------------------------------------------------------
+    def bind_types(self, lane: int, cores) -> None:
+        """Load one lane's per-core type indexes into row ``lane``."""
+        if len(cores) != self.n_cores:
+            raise BatchShapeError(
+                f"lane {lane} has {len(cores)} cores, batch expects "
+                f"{self.n_cores}"
+            )
+        self.type_index[lane] = [core.type_index for core in cores]
+
     def gather_criticality(self, lane: int, cores) -> None:
         """Load one lane's per-core stress/timer state into row ``lane``.
 

@@ -233,6 +233,10 @@ def _drive(config: SystemConfig, lanes: List[_Lane]) -> None:
     # incrementally by the aging mirror and the test-completion hook.
     for i, lane in enumerate(lanes):
         lane.bind_rows(arrays.stress[i], arrays.last_test_end[i])
+        # The type-index column is static per batch (all lanes share one
+        # config); loading it up front keeps per-type control-plane math
+        # (hetero grids) in numpy instead of per-core attribute walks.
+        arrays.bind_types(i, lane.system.chip.cores)
     epoch = config.epoch_us
     horizon = config.horizon_us
     crit_params = lanes[0].crit.params

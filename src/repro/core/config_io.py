@@ -35,7 +35,7 @@ _NESTED = {
     "variation": VariationParameters,
 }
 #: Tuple-typed fields (JSON arrays come back as lists).
-_TUPLES = ("profile_names", "profile_weights")
+_TUPLES = ("profile_names", "profile_weights", "type_grid")
 
 
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:

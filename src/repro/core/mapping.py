@@ -42,8 +42,11 @@ class TestAwareUtilizationMapper(RuntimeMapper):
         criticality_weight: float = 2.0,
         testing_penalty: float = 6.0,
         utilization_window_us: float = 2000.0,
+        type_weight: float = 1.0,
     ) -> None:
         if utilization_weight < 0 or criticality_weight < 0 or testing_penalty < 0:
+            raise ValueError("weights must be non-negative")
+        if type_weight < 0:
             raise ValueError("weights must be non-negative")
         if utilization_window_us <= 0:
             raise ValueError("utilization window must be positive")
@@ -52,6 +55,7 @@ class TestAwareUtilizationMapper(RuntimeMapper):
         self.criticality_weight = criticality_weight
         self.testing_penalty = testing_penalty
         self.utilization_window_us = utilization_window_us
+        self.type_weight = type_weight
 
     # ------------------------------------------------------------------
     def core_cost(self, now: float, core: Core) -> float:
@@ -64,6 +68,12 @@ class TestAwareUtilizationMapper(RuntimeMapper):
         )
         if core.is_testing():
             cost += self.testing_penalty
+        # Heterogeneity: hot tile types cost extra.  The bias is exactly
+        # 0.0 for std tiles and added only when nonzero, so homogeneous
+        # placement costs keep their pre-heterogeneity bits.
+        bias = self.type_bias(core)
+        if bias != 0.0:
+            cost += self.type_weight * bias
         return cost
 
     def map_application(

@@ -96,7 +96,7 @@ class PowerAwareTestScheduler(TestSchedulerBase):
         index = self.pick_level(core, now).index
         while index >= 0:
             level = self.chip.vf_table[index]
-            if self.runner.estimated_power(level) <= headroom:
+            if self.session_cost(core, level) <= headroom:
                 return level
             index -= 1
         return None
@@ -180,7 +180,7 @@ class PowerAwareTestScheduler(TestSchedulerBase):
                         criticality=self.criticality.value(core, now),
                     )
                 continue
-            cost = self.runner.estimated_power(level)
+            cost = self.session_cost(core, level)
             if journal.enabled or tm.enabled:
                 downgraded = level.index != self.pick_level(core, now).index
                 tm.counter("test.launch").inc()
@@ -241,7 +241,7 @@ class PowerAwareTestScheduler(TestSchedulerBase):
                     entry.update(action="defer", reason="no-level-fits")
                 else:
                     preferred = self.pick_level(core, now)
-                    cost = self.runner.estimated_power(level)
+                    cost = self.session_cost(core, level)
                     entry.update(
                         action="launch",
                         level=level.index,
@@ -267,7 +267,7 @@ class PowerAwareTestScheduler(TestSchedulerBase):
         for session in sessions:
             if measured <= self.budget.cap:
                 break
-            cost = self.runner.estimated_power(session.level)
+            cost = self.session_cost(session.core, session.level)
             self.runner.abort(session.core)
             self.emergency_aborts += 1
             aborted += 1

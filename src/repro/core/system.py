@@ -83,6 +83,13 @@ class SystemConfig:
     tdp_w: float = 80.0
     n_vf_levels: int = 8
     guard_fraction: float = 0.02
+    #: Per-tile core-type names, row-major.  Empty means homogeneous
+    #: ``std`` (the degenerate pre-heterogeneity platform); one entry
+    #: means a homogeneous grid of that type; otherwise exactly
+    #: ``width * height`` entries.
+    type_grid: Tuple[str, ...] = ()
+    #: Technology-model registry name (``cmos`` baseline or ``ntv``).
+    tech_model: str = "cmos"
     # Control
     epoch_us: float = 100.0
     dvfs_transition_us: float = 0.0
@@ -133,6 +140,12 @@ class SystemConfig:
             raise ValueError("profile names and weights must align")
         if self.test_preemption not in ("auto", "abort", "reserve"):
             raise ValueError(f"unknown preemption policy {self.test_preemption!r}")
+        n_cores = self.width * self.height
+        if len(self.type_grid) not in (0, 1, n_cores):
+            raise ValueError(
+                f"type_grid must have 0, 1 or {n_cores} entries for a "
+                f"{self.width}x{self.height} mesh, got {len(self.type_grid)}"
+            )
 
     def profiles(self) -> List[ApplicationProfile]:
         return [PROFILE_PRESETS[name] for name in self.profile_names]
@@ -247,6 +260,8 @@ class ManycoreSystem:
             config.node_name,
             tdp_w=config.tdp_w,
             n_vf_levels=config.n_vf_levels,
+            type_grid=config.type_grid,
+            tech_model=config.tech_model,
         )
         self.mesh = Mesh(config.width, config.height)
         if config.noc_mode == "analytic":

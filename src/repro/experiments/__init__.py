@@ -1,5 +1,6 @@
 """Experiment harness: reconstructed tables/figures (E1..E9), the E10
-lifetime extension, and design-choice ablations (A1..A6)."""
+lifetime extension, the E11 heterogeneous-platform family, and
+design-choice ablations (A1..A6)."""
 
 from repro.experiments.ablations import (
     ABLATIONS,
@@ -18,6 +19,7 @@ from repro.experiments.result import ExperimentResult
 from repro.experiments.runners import (
     DEFAULT_CONFIG,
     EXPERIMENTS,
+    E11_TYPE_GRID,
     run_e1_power_trace,
     run_e2_throughput_penalty,
     run_e3_tech_nodes,
@@ -27,6 +29,7 @@ from repro.experiments.runners import (
     run_e7_mapping,
     run_e8_detection_latency,
     run_e9_pid_ablation,
+    run_e11_hetero,
     run_experiment,
 )
 
@@ -35,6 +38,7 @@ EXPERIMENTS.update(ABLATIONS)
 __all__ = [
     "ABLATIONS",
     "DEFAULT_CONFIG",
+    "E11_TYPE_GRID",
     "EXPERIMENTS",
     "ExperimentResult",
     "RunFailed",
@@ -56,6 +60,7 @@ __all__ = [
     "run_e7_mapping",
     "run_e8_detection_latency",
     "run_e9_pid_ablation",
+    "run_e11_hetero",
     "run_experiment",
     "run_many",
 ]

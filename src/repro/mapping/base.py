@@ -59,6 +59,20 @@ class RuntimeMapper:
 
     name = "base"
 
+    def type_bias(self, core: Core) -> float:
+        """Per-type placement bias of ``core`` (hop-equivalents).
+
+        The heterogeneity touch point of the mapping layer: policies that
+        weigh tiles differently (keep hot O3/accelerator tiles free for
+        their own work; prefer cheap IO tiles for generic tasks) override
+        or scale this.  The default biases by the tile's dynamic-power
+        scale, which is exactly 0.0 for the degenerate ``std`` type —
+        cost-aware mappers only *add* the term when it is nonzero, so
+        homogeneous-std placements are bit-identical to the
+        pre-heterogeneity engine.
+        """
+        return core.core_type.dyn_scale - 1.0
+
     def map_application(
         self, app: ApplicationInstance, ctx: MappingContext
     ) -> Optional[Dict[int, int]]:  # pragma: no cover - interface

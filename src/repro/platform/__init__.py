@@ -2,7 +2,25 @@
 
 from repro.platform.chip import Chip
 from repro.platform.core import BusyWindow, Core, CoreState
+from repro.platform.coretypes import (
+    CORE_TYPES,
+    DEFAULT_CORE_TYPE,
+    CoreType,
+    core_type_names,
+    get_core_type,
+    register_core_type,
+)
 from repro.platform.dvfs import VFLevel, VFTable, build_vf_table
+from repro.platform.techmodel import (
+    DEFAULT_TECH_MODEL,
+    TECHNOLOGY_MODELS,
+    CMOSModel,
+    NearThresholdModel,
+    TechnologyModel,
+    get_tech_model,
+    register_tech_model,
+    tech_model_names,
+)
 from repro.platform.thermal import ThermalModel, ThermalParameters, thermal_safe_power
 from repro.platform.variation import VariationModel, VariationParameters
 from repro.platform.technology import (
@@ -15,11 +33,19 @@ from repro.platform.technology import (
 
 __all__ = [
     "BusyWindow",
+    "CMOSModel",
+    "CORE_TYPES",
     "Chip",
     "Core",
     "CoreState",
+    "CoreType",
+    "DEFAULT_CORE_TYPE",
     "DEFAULT_TDP_W",
+    "DEFAULT_TECH_MODEL",
+    "NearThresholdModel",
+    "TECHNOLOGY_MODELS",
     "TECHNOLOGY_NODES",
+    "TechnologyModel",
     "TechnologyNode",
     "ThermalModel",
     "ThermalParameters",
@@ -28,7 +54,13 @@ __all__ = [
     "VFLevel",
     "VFTable",
     "build_vf_table",
+    "core_type_names",
+    "get_core_type",
     "get_node",
+    "get_tech_model",
     "node_names",
+    "register_core_type",
+    "register_tech_model",
+    "tech_model_names",
     "thermal_safe_power",
 ]

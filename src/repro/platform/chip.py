@@ -2,10 +2,26 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.platform.core import Core, CoreState
+from repro.platform.coretypes import DEFAULT_CORE_TYPE, CoreType, get_core_type
 from repro.platform.dvfs import VFTable, build_vf_table
+from repro.platform.techmodel import (
+    DEFAULT_TECH_MODEL,
+    TechnologyModel,
+    get_tech_model,
+)
 from repro.platform.technology import DEFAULT_TDP_W, TechnologyNode, get_node
 
 #: Chip-level transition listener: ``cb(core, old_state, new_state)``.
@@ -34,6 +50,8 @@ class Chip:
         node: TechnologyNode,
         vf_table: Optional[VFTable] = None,
         tdp_w: float = DEFAULT_TDP_W,
+        type_grid: Optional[Sequence[str]] = None,
+        tech_model: Union[str, TechnologyModel, None] = None,
     ) -> None:
         if width < 1 or height < 1:
             raise ValueError(f"invalid mesh {width}x{height}")
@@ -44,6 +62,42 @@ class Chip:
         self.node = node
         self.vf_table = vf_table if vf_table is not None else build_vf_table(node)
         self.tdp_w = tdp_w
+        if tech_model is None:
+            tech_model = DEFAULT_TECH_MODEL
+        self.tech_model: TechnologyModel = (
+            get_tech_model(tech_model)
+            if isinstance(tech_model, str)
+            else tech_model
+        )
+        n_cores = width * height
+        if type_grid is None or len(type_grid) == 0:
+            type_names: List[str] = [DEFAULT_CORE_TYPE] * n_cores
+        else:
+            if len(type_grid) == 1:
+                type_names = [type_grid[0]] * n_cores
+            elif len(type_grid) == n_cores:
+                type_names = list(type_grid)
+            else:
+                raise ValueError(
+                    f"type_grid must have 1 or {n_cores} entries for a "
+                    f"{width}x{height} mesh, got {len(type_grid)}"
+                )
+        #: First-occurrence type catalog; ``Core.type_index`` indexes it.
+        self.core_types: List[CoreType] = []
+        type_index_of: Dict[str, int] = {}
+        grid_types: List[CoreType] = []
+        for name in type_names:
+            if name not in type_index_of:
+                type_index_of[name] = len(self.core_types)
+                self.core_types.append(get_core_type(name))
+            grid_types.append(self.core_types[type_index_of[name]])
+        #: True iff this chip leaves the degenerate contract: any non-std
+        #: tile or a non-baseline model.  Gates the hetero-only journal
+        #: fields so degenerate runs stay byte-identical on disk.
+        self.is_heterogeneous: bool = (
+            self.tech_model.name != DEFAULT_TECH_MODEL
+            or any(t.name != DEFAULT_CORE_TYPE for t in self.core_types)
+        )
         self.cores: List[Core] = []
         self._by_pos: Dict[Tuple[int, int], Core] = {}
         self._state_ids: Dict[CoreState, Set[int]] = {s: set() for s in CoreState}
@@ -72,7 +126,12 @@ class Chip:
         initial = self.vf_table.max_level
         for y in range(height):
             for x in range(width):
-                core = Core(core_id=y * width + x, x=x, y=y, level=initial)
+                core_id = y * width + x
+                ctype = grid_types[core_id]
+                core = Core(
+                    core_id=core_id, x=x, y=y, level=initial, core_type=ctype
+                )
+                core.type_index = type_index_of[ctype.name]
                 core.transition_cb = self._on_core_transition
                 core.owner_cb = self._on_owner_change
                 self.cores.append(core)
@@ -87,10 +146,20 @@ class Chip:
         node_name: str = "16nm",
         tdp_w: float = DEFAULT_TDP_W,
         n_vf_levels: int = 8,
+        type_grid: Optional[Sequence[str]] = None,
+        tech_model: Union[str, TechnologyModel, None] = None,
     ) -> "Chip":
         """Convenience constructor from a node name."""
         node = get_node(node_name)
-        return cls(width, height, node, build_vf_table(node, n_vf_levels), tdp_w)
+        return cls(
+            width,
+            height,
+            node,
+            build_vf_table(node, n_vf_levels),
+            tdp_w,
+            type_grid=type_grid,
+            tech_model=tech_model,
+        )
 
     # ------------------------------------------------------------------
     # Transition tracking
@@ -224,6 +293,24 @@ class Chip:
         """``len(free_cores())`` without building the list (O(1))."""
         return self._free_count
 
+    def type_counts(self) -> Dict[CoreType, int]:
+        """Tile count per :class:`CoreType`, in first-occurrence order."""
+        counts: Dict[CoreType, int] = {t: 0 for t in self.core_types}
+        for core in self.cores:
+            counts[core.core_type] += 1
+        return counts
+
     def lit_fraction(self) -> float:
-        """Dark-silicon lit fraction of this chip under its own TDP."""
-        return self.node.lit_fraction(len(self.cores), self.tdp_w)
+        """Dark-silicon lit fraction of this chip under its own TDP.
+
+        Derived from the technology model over the chip's type mix; on a
+        homogeneous-``std`` chip under the baseline model this equals
+        :meth:`TechnologyNode.lit_fraction` bit for bit.
+        """
+        return self.tech_model.lit_fraction(
+            self.node, self.type_counts(), self.tdp_w
+        )
+
+    def dark_fraction(self) -> float:
+        """Complement of :meth:`lit_fraction`."""
+        return 1.0 - self.lit_fraction()

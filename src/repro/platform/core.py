@@ -19,6 +19,7 @@ import enum
 from bisect import bisect_right
 from typing import Callable, List, Optional, Tuple
 
+from repro.platform.coretypes import CORE_TYPES, DEFAULT_CORE_TYPE, CoreType
 from repro.platform.dvfs import VFLevel
 
 
@@ -106,13 +107,29 @@ class Core:
     with *every* mutation, including direct assignments in tests.
     """
 
-    def __init__(self, core_id: int, x: int, y: int, level: VFLevel) -> None:
+    def __init__(
+        self,
+        core_id: int,
+        x: int,
+        y: int,
+        level: VFLevel,
+        core_type: Optional[CoreType] = None,
+    ) -> None:
         self.core_id = core_id
         self.x = x
         self.y = y
         #: Mesh coordinates as a tuple; a plain attribute (not a property)
         #: because mapping and NoC code read it in tight loops.
         self.position: Tuple[int, int] = (x, y)
+        #: This tile's flavour (power / SBST / aging scales).  Immutable
+        #: for the core's lifetime, so it is a plain attribute.
+        self.core_type: CoreType = (
+            core_type if core_type is not None else CORE_TYPES[DEFAULT_CORE_TYPE]
+        )
+        #: Index into the owning chip's first-occurrence type catalog;
+        #: the chip assigns it, and the power meter / batch SoA arrays
+        #: use it to pick per-type cache rows without hashing names.
+        self.type_index: int = 0
         self._state = CoreState.IDLE
         self._level = level
         #: Installed by Chip; called as ``cb(core, old_state, new_state)``

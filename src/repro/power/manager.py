@@ -28,7 +28,7 @@ from repro.obs.journal import NULL_JOURNAL
 from repro.platform.chip import Chip
 from repro.platform.core import Core
 from repro.platform.dvfs import VFLevel
-from repro.platform.technology import cached_dynamic_power, cached_leakage_power
+from repro.platform.techmodel import cached_model_dynamic, cached_model_leakage
 from repro.power.budget import PowerBudget
 from repro.power.meter import PowerMeter
 from repro.power.pid import PIDController, PIDGains
@@ -186,7 +186,15 @@ class WorstCaseTDPManager(PowerManager):
     name = "worst-case"
 
     def max_active_cores(self) -> int:
-        peak = self.chip.node.peak_core_power()
+        # Worst-case means worst-case: on a heterogeneous chip the
+        # admission count provisions for the hungriest tile type.  On a
+        # homogeneous-std chip this is the node's peak, bit for bit.
+        chip = self.chip
+        model = chip.tech_model
+        peak = max(
+            model.peak_core_power(chip.node, ctype)
+            for ctype in chip.core_types
+        )
         return max(1, int(self.budget.guarded_cap / peak))
 
     def spare_core_slots(self) -> Optional[int]:
@@ -221,15 +229,25 @@ class PIDPowerManager(PowerManager):
         # adding componentwise sorted terms preserves order under IEEE
         # rounding, so sortedness here implies it for every task.
         node = chip.node
-        dyn = [
-            cached_dynamic_power(node, lvl.vdd, lvl.f_mhz, 1.0)
-            for lvl in chip.vf_table
-        ]
-        leak = [cached_leakage_power(node, lvl.vdd) for lvl in chip.vf_table]
-        self._ladder_sorted = all(
-            dyn[i] <= dyn[i + 1] and leak[i] <= leak[i + 1]
-            for i in range(len(dyn) - 1)
-        )
+        model = chip.tech_model
+        # Every type present on the chip must have a sorted ladder for the
+        # bisection to be valid on any core the actuator may touch.
+        self._ladder_sorted = True
+        for ctype in chip.core_types:
+            dyn = [
+                cached_model_dynamic(model, node, ctype, lvl.vdd, lvl.f_mhz, 1.0)
+                for lvl in chip.vf_table
+            ]
+            leak = [
+                cached_model_leakage(model, node, ctype, lvl.vdd)
+                for lvl in chip.vf_table
+            ]
+            if not all(
+                dyn[i] <= dyn[i + 1] and leak[i] <= leak[i + 1]
+                for i in range(len(dyn) - 1)
+            ):
+                self._ladder_sorted = False
+                break
 
     def preferred_start_level(self) -> VFLevel:
         """Start new tasks one step below nominal; the PID lifts them."""
@@ -264,13 +282,17 @@ class PIDPowerManager(PowerManager):
         # ``(dyn + leak·lf) - base``, identical to the meter's.
         base = meter.core_power(core)
         node = self.chip.node
+        model = self.chip.tech_model
+        ctype = core.core_type
         lf = core.leak_factor
 
         def fits(index: int) -> bool:
             level = table[index]
             busy = (
-                cached_dynamic_power(node, level.vdd, level.f_mhz, activity)
-                + cached_leakage_power(node, level.vdd) * lf
+                cached_model_dynamic(
+                    model, node, ctype, level.vdd, level.f_mhz, activity
+                )
+                + cached_model_leakage(model, node, ctype, level.vdd) * lf
             )
             return busy - base <= headroom
 

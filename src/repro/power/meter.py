@@ -33,7 +33,12 @@ from typing import Dict, List, Optional
 from repro.platform.chip import Chip
 from repro.platform.core import Core, CoreState
 from repro.platform.dvfs import VFLevel
-from repro.platform.technology import cached_dynamic_power, cached_leakage_power
+from repro.platform.techmodel import (
+    cached_model_dynamic,
+    cached_model_leakage,
+    dyn_cache_for,
+    leak_cache_for,
+)
 
 
 @dataclass(frozen=True)
@@ -105,15 +110,23 @@ class PowerMeter:
         # activity) cost one refresh instead of three.
         self._dirty_cores: set = set()
         self._queries = 0
-        # Direct references to the node's memo dicts (see
-        # repro.platform.technology): _refresh_core runs on every core
+        # Direct references to the per-(model, type) memo dicts (see
+        # repro.platform.techmodel): _refresh_core runs on every core
         # transition, so its cache hits must not pay a function call.
+        # Indexed by ``Core.type_index`` — one dict pair per catalog type.
         node = chip.node
-        cached_dynamic_power(node, self.chip.vf_table.max_level.vdd,
-                             self.chip.vf_table.max_level.f_mhz)
-        cached_leakage_power(node, self.chip.vf_table.max_level.vdd)
-        self._node_dyn_cache: Dict[tuple, float] = node._dyn_cache
-        self._node_leak_cache: Dict[float, float] = node._leak_cache
+        model = chip.tech_model
+        self._model = model
+        max_level = self.chip.vf_table.max_level
+        self._dyn_caches: List[Dict[tuple, float]] = []
+        self._leak_caches: List[Dict[float, float]] = []
+        for ctype in chip.core_types:
+            cached_model_dynamic(
+                model, node, ctype, max_level.vdd, max_level.f_mhz
+            )
+            cached_model_leakage(model, node, ctype, max_level.vdd)
+            self._dyn_caches.append(dyn_cache_for(node, model, ctype))
+            self._leak_caches.append(leak_cache_for(node, model, ctype))
         for core in chip:
             self._refresh_core(core)
         chip.add_transition_listener(self._on_core_transition)
@@ -142,13 +155,19 @@ class PowerMeter:
         cid = core.core_id
         state = core._state
         level = core._level
+        tidx = core.type_index
         if state is CoreState.BUSY or state is CoreState.TESTING:
             activity = self._core_activity.get(cid, self.default_activity)
             key = (level.vdd, level.f_mhz, activity)
-            dyn = self._node_dyn_cache.get(key)
+            dyn = self._dyn_caches[tidx].get(key)
             if dyn is None:
-                dyn = cached_dynamic_power(
-                    self.chip.node, level.vdd, level.f_mhz, activity
+                dyn = cached_model_dynamic(
+                    self._model,
+                    self.chip.node,
+                    core.core_type,
+                    level.vdd,
+                    level.f_mhz,
+                    activity,
                 )
             self._dyn_w[cid] = dyn
         else:
@@ -156,9 +175,11 @@ class PowerMeter:
         if state is CoreState.FAULTY:
             leak = 0.0
         else:
-            base = self._node_leak_cache.get(level.vdd)
+            base = self._leak_caches[tidx].get(level.vdd)
             if base is None:
-                base = cached_leakage_power(self.chip.node, level.vdd)
+                base = cached_model_leakage(
+                    self._model, self.chip.node, core.core_type, level.vdd
+                )
             leak = base * core._leak_factor
             if state is CoreState.IDLE:
                 leak = leak * self.gated_leak_fraction
@@ -257,8 +278,13 @@ class PowerMeter:
         if core.state not in (CoreState.BUSY, CoreState.TESTING):
             return 0.0
         activity = self._core_activity.get(core.core_id, self.default_activity)
-        return cached_dynamic_power(
-            self.chip.node, level.vdd, level.f_mhz, activity
+        return cached_model_dynamic(
+            self._model,
+            self.chip.node,
+            core.core_type,
+            level.vdd,
+            level.f_mhz,
+            activity,
         )
 
     def core_leakage(self, core: Core, level: Optional[VFLevel] = None) -> float:
@@ -271,7 +297,12 @@ class PowerMeter:
             return self._leak_w[cid]
         if core.state is CoreState.FAULTY:
             return 0.0
-        leak = cached_leakage_power(self.chip.node, level.vdd) * core.leak_factor
+        leak = (
+            cached_model_leakage(
+                self._model, self.chip.node, core.core_type, level.vdd
+            )
+            * core.leak_factor
+        )
         if core.state is CoreState.IDLE:
             return leak * self.gated_leak_fraction
         return leak
@@ -311,12 +342,15 @@ class PowerMeter:
         test = 0.0
         leakage = 0.0
         node = self.chip.node
+        model = self._model
         for core in self.chip:
             if core.state in (CoreState.BUSY, CoreState.TESTING):
                 activity = self._core_activity.get(
                     core.core_id, self.default_activity
                 )
-                dyn = node.dynamic_power(core.level.vdd, core.level.f_mhz, activity)
+                dyn = model.dynamic_power(
+                    node, core.core_type, core.level.vdd, core.level.f_mhz, activity
+                )
                 if core.state is CoreState.BUSY:
                     workload += dyn
                 else:
@@ -324,7 +358,10 @@ class PowerMeter:
             if core.state is CoreState.FAULTY:
                 leak = 0.0
             else:
-                leak = node.leakage_power(core.level.vdd) * core.leak_factor
+                leak = (
+                    model.leakage_power(node, core.core_type, core.level.vdd)
+                    * core.leak_factor
+                )
                 if core.state is CoreState.IDLE:
                     leak = leak * self.gated_leak_fraction
             leakage += leak
@@ -368,7 +405,14 @@ class PowerMeter:
         self, core: Core, level: VFLevel, activity: float
     ) -> float:
         """Power added if the (currently gated) core started work at ``level``."""
-        busy = cached_dynamic_power(
-            self.chip.node, level.vdd, level.f_mhz, activity
-        ) + cached_leakage_power(self.chip.node, level.vdd) * core.leak_factor
+        node = self.chip.node
+        busy = (
+            cached_model_dynamic(
+                self._model, node, core.core_type, level.vdd, level.f_mhz, activity
+            )
+            + cached_model_leakage(
+                self._model, node, core.core_type, level.vdd
+            )
+            * core.leak_factor
+        )
         return busy - self.core_power(core)

@@ -108,10 +108,14 @@ class TestRunner:
         self.checkpointing = checkpointing
         self.stats = TestStats()
         self._sessions: Dict[int, TestSession] = {}
-        # level index -> estimated added power; the inputs (node, library,
-        # gated leak fraction) are fixed for the runner's lifetime and the
-        # scheduler asks for the same handful of levels every tick.
-        self._estimated_power_cache: Dict[int, float] = {}
+        # (type name, level index) -> estimated added power; the inputs
+        # (node, model, library, gated leak fraction) are fixed for the
+        # runner's lifetime and the scheduler asks for the same handful
+        # of (type, level) pairs every tick.
+        self._estimated_power_cache: Dict[tuple, float] = {}
+        # type_index -> the library adapted to that core type; ``std``
+        # maps to ``library`` itself (see SBSTLibrary.scaled_for).
+        self._typed_libraries: Dict[int, SBSTLibrary] = {}
         # core_id -> (level_index, elapsed_us already executed)
         self._checkpoints: Dict[int, tuple] = {}
         #: Hooks invoked with (core, session) on lifecycle transitions.
@@ -131,20 +135,44 @@ class TestRunner:
     def active_sessions(self) -> List[TestSession]:
         return list(self._sessions.values())
 
-    def estimated_power(self, level: VFLevel) -> float:
+    def library_for(self, core: Core) -> SBSTLibrary:
+        """The SBST suite adapted to ``core``'s type (``self.library`` for std)."""
+        tidx = core.type_index
+        try:
+            return self._typed_libraries[tidx]
+        except KeyError:
+            lib = self.library.scaled_for(core.core_type)
+            self._typed_libraries[tidx] = lib
+            return lib
+
+    def estimated_power(self, level: VFLevel, core: Optional[Core] = None) -> float:
         """Power one test session adds at ``level`` (on an idle core).
 
         The idle core already leaks a gated fraction; the added cost is the
-        session power minus the gated leakage it replaces.
+        session power minus the gated leakage it replaces.  ``core`` picks
+        the per-type suite and power scales; omitting it means a baseline
+        (``std``) tile, which is exact on homogeneous-std chips.
         """
+        if core is None:
+            ctype = self.chip.core_types[0]
+            library = self.library
+        else:
+            ctype = core.core_type
+            library = self.library_for(core)
+        key = (ctype.name, level.index)
         try:
-            return self._estimated_power_cache[level.index]
+            return self._estimated_power_cache[key]
         except KeyError:
             pass
-        full = self.library.session_power(self.chip.node, level)
-        gated = self.chip.node.leakage_power(level.vdd) * self.meter.gated_leak_fraction
+        model = self.chip.tech_model
+        node = self.chip.node
+        full = library.session_power_model(model, node, ctype, level)
+        gated = (
+            model.leakage_power(node, ctype, level.vdd)
+            * self.meter.gated_leak_fraction
+        )
         value = full - gated
-        self._estimated_power_cache[level.index] = value
+        self._estimated_power_cache[key] = value
         return value
 
     # ------------------------------------------------------------------
@@ -157,7 +185,8 @@ class TestRunner:
         if core.owner_app is not None:
             raise ValueError(f"core {core.core_id} owned by app {core.owner_app}")
         now = self.sim.now
-        duration = self.library.session_duration(level) / core.speed_factor
+        library = self.library_for(core)
+        duration = library.session_duration(level) / core.speed_factor
         checkpoint = self._checkpoints.pop(core.core_id, None)
         resumed_offset = 0.0
         if (
@@ -172,7 +201,7 @@ class TestRunner:
         core.state = CoreState.TESTING
         core.level = level
         core.testing_until = now + duration
-        self.meter.set_core_activity(core, self.library.session_power_factor())
+        self.meter.set_core_activity(core, library.session_power_factor())
         event = self.sim.schedule(duration, self._finish, core)
         session = TestSession(
             core, level, now, duration, event, resumed_offset_us=resumed_offset
@@ -252,7 +281,10 @@ class TestRunner:
         detected = None
         if self.injector is not None:
             detected = self.injector.try_detect(
-                core, now, session.level.index, self.library.session_coverage()
+                core,
+                now,
+                session.level.index,
+                self.library_for(core).session_coverage(),
             )
         if detected is not None:
             self.stats.detections += 1

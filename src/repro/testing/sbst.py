@@ -21,9 +21,11 @@ coverage queries for a whole session at a given V/F level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
+from repro.platform.coretypes import CoreType
 from repro.platform.dvfs import VFLevel
+from repro.platform.techmodel import TechnologyModel
 from repro.platform.technology import TechnologyNode
 
 
@@ -59,6 +61,8 @@ class SBSTLibrary:
         if len(set(names)) != len(names):
             raise ValueError("duplicate routine names")
         self.routines: List[SBSTRoutine] = list(routines)
+        # Per-core-type derived libraries, built lazily by ``scaled_for``.
+        self._typed: Dict[str, "SBSTLibrary"] = {}
 
     def __len__(self) -> int:
         return len(self.routines)
@@ -92,12 +96,70 @@ class SBSTLibrary:
             miss *= 1.0 - routine.coverage
         return 1.0 - miss
 
+    def detection_profile(self) -> List[float]:
+        """Cumulative detection probability after each routine, in order.
+
+        Element ``k`` is the probability the first ``k+1`` routines expose
+        a manifesting fault — a CDF over suite progress, so the list is
+        monotone non-decreasing and ends at :meth:`session_coverage`.
+        """
+        profile: List[float] = []
+        miss = 1.0
+        for routine in self.routines:
+            miss *= 1.0 - routine.coverage
+            profile.append(1.0 - miss)
+        return profile
+
+    def scaled_for(self, ctype: CoreType) -> "SBSTLibrary":
+        """This suite adapted to one core type.
+
+        Routine lengths scale by ``sbst_cycles_scale`` (longer patterns
+        for wider pipelines) and coverages by ``detection_scale``.  For a
+        type with both scales at 1.0 — notably ``std`` — returns ``self``,
+        so degenerate configs share the exact library object (and floats)
+        the homogeneous engine used.
+        """
+        if ctype.sbst_cycles_scale == 1.0 and ctype.detection_scale == 1.0:
+            return self
+        try:
+            return self._typed[ctype.name]
+        except KeyError:
+            scaled = SBSTLibrary(
+                [
+                    SBSTRoutine(
+                        name=r.name,
+                        cycles=r.cycles * ctype.sbst_cycles_scale,
+                        power_factor=r.power_factor,
+                        coverage=r.coverage * ctype.detection_scale,
+                    )
+                    for r in self.routines
+                ]
+            )
+            self._typed[ctype.name] = scaled
+            return scaled
+
     def session_power(self, node: TechnologyNode, level: VFLevel) -> float:
         """Estimated power (W) of a core running the suite at ``level``."""
         return (
             node.dynamic_power(level.vdd, level.f_mhz, self.session_power_factor())
             + node.leakage_power(level.vdd)
         )
+
+    def session_power_model(
+        self,
+        model: TechnologyModel,
+        node: TechnologyNode,
+        ctype: CoreType,
+        level: VFLevel,
+    ) -> float:
+        """:meth:`session_power` routed through a technology model.
+
+        Under the baseline model with the ``std`` type this is bit-equal
+        to :meth:`session_power` (every factor multiplies by exactly 1.0).
+        """
+        return model.dynamic_power(
+            node, ctype, level.vdd, level.f_mhz, self.session_power_factor()
+        ) + model.leakage_power(node, ctype, level.vdd)
 
 
 def default_library(scale: float = 1.0) -> SBSTLibrary:

@@ -105,6 +105,15 @@ class TestSchedulerBase:
         )
         return table[best_index]
 
+    def session_cost(self, core: Core, level: VFLevel) -> float:
+        """Estimated power (W) one session on ``core`` at ``level`` adds.
+
+        The single point where scheduling policies price a test: routed
+        through the runner's per-type estimate so heterogeneous tiles are
+        costed with their own suite and power scales.
+        """
+        return self.runner.estimated_power(level, core)
+
     def tick(self, now: float, dt: float) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 

@@ -16,7 +16,10 @@ in three pieces:
   declarative config-transformation properties (budget up ⇒ throughput
   non-decreasing, zero hazard ⇒ zero detections, seed-permutation
   invariance, level-domain coverage, no-test ⇒ zero tests) executed
-  through ``run_many`` with cache reuse.
+  through ``run_many`` with cache reuse.  A separate heterogeneous
+  catalog (:func:`~repro.verify.relations.hetero_relations`) certifies
+  the E11 platform family: type-permutation dark-fraction invariance,
+  accelerator-count dark monotonicity, typed zero-hazard soundness.
 * **Journal replay** (:mod:`repro.verify.replay`) — an independent
   re-simulator that recomputes every epoch's power breakdown from
   journal snapshots and cross-checks the live meter bit-for-bit.
@@ -49,6 +52,7 @@ from repro.verify.invariants import (
 )
 from repro.verify.relations import (
     RELATIONS,
+    AccelCountDarkMonotonic,
     BudgetMonotonicThroughput,
     LevelDomainCoverage,
     MetamorphicRelation,
@@ -56,9 +60,12 @@ from repro.verify.relations import (
     RelationOutcome,
     RelationReport,
     SeedPermutationInvariance,
+    TypePermutationDarkInvariance,
+    TypedZeroHazardTypedZeroFaults,
     ZeroHazardZeroFaults,
     check_relations,
     default_relations,
+    hetero_relations,
 )
 from repro.verify.replay import ReplayError, ReplayReport, replay_journal
 
@@ -90,6 +97,7 @@ def verify_config(
 
 
 __all__ = [
+    "AccelCountDarkMonotonic",
     "BudgetComplianceInvariant",
     "BudgetMonotonicThroughput",
     "Invariant",
@@ -110,11 +118,14 @@ __all__ = [
     "StateLegalityInvariant",
     "TestNonIntrusivenessInvariant",
     "TimeMonotonicityInvariant",
+    "TypePermutationDarkInvariance",
+    "TypedZeroHazardTypedZeroFaults",
     "VerificationError",
     "ZeroHazardZeroFaults",
     "check_relations",
     "default_invariants",
     "default_relations",
+    "hetero_relations",
     "replay_journal",
     "verify_config",
 ]

@@ -588,9 +588,7 @@ class InvariantChecker:
     def _emit_platform(system) -> None:
         chip = system.chip
         meter = system.meter
-        system.journal.emit(
-            "verify.platform",
-            system.sim.now,
+        payload = dict(
             node=system.config.node_name,
             width=chip.width,
             height=chip.height,
@@ -599,6 +597,13 @@ class InvariantChecker:
             vf_levels=[[level.vdd, level.f_mhz] for level in chip.vf_table],
             leak_factors=[core.leak_factor for core in chip],
         )
+        if chip.is_heterogeneous:
+            # Hetero-only keys: degenerate (homogeneous-std, baseline
+            # model) journals must stay byte-identical to the
+            # pre-heterogeneity format, so these are gated, not defaulted.
+            payload["tech_model"] = chip.tech_model.name
+            payload["core_types"] = [core.core_type.name for core in chip]
+        system.journal.emit("verify.platform", system.sim.now, **payload)
 
     @staticmethod
     def _emit_tick(system, now: float, breakdown) -> None:

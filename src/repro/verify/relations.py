@@ -283,6 +283,259 @@ class NoTestPolicyZeroTests(MetamorphicRelation):
         return failures
 
 
+# ----------------------------------------------------------------------
+# Heterogeneous-platform relations (E11 family)
+# ----------------------------------------------------------------------
+def _resolved_type_names(config) -> List[str]:
+    """Per-core type names of a config, resolved like :class:`Chip` does.
+
+    Empty ``type_grid`` means all-default, a single entry broadcasts to
+    the whole mesh, and a full-length grid is taken verbatim.
+    """
+    from repro.platform.coretypes import DEFAULT_CORE_TYPE
+
+    n_cores = config.width * config.height
+    grid = tuple(config.type_grid)
+    if not grid:
+        return [DEFAULT_CORE_TYPE] * n_cores
+    if len(grid) == 1:
+        return list(grid) * n_cores
+    return list(grid)
+
+
+def _dark_fraction_of(config) -> float:
+    """Analytic dark fraction of a config (placement-free)."""
+    from repro.platform.coretypes import get_core_type
+    from repro.platform.techmodel import get_tech_model
+    from repro.platform.technology import get_node
+
+    model = get_tech_model(config.tech_model)
+    node = get_node(config.node_name)
+    counts: Dict[object, int] = {}
+    for name in _resolved_type_names(config):
+        ctype = get_core_type(name)
+        counts[ctype] = counts.get(ctype, 0) + 1
+    return model.dark_fraction(node, counts, config.tdp_w)
+
+
+class TypePermutationDarkInvariance(MetamorphicRelation):
+    """Shuffling tile placement cannot move the dark-silicon ratio.
+
+    The dark fraction is a budget property of the *type mix* (how much
+    peak power the catalog demands against the TDP), not of where the
+    tiles sit: any permutation of the same type multiset over the mesh
+    must yield an identical dark fraction and identical type counts.
+    The permutations used (reversal, rotations) are deterministic, and
+    every permuted floorplan also runs end-to-end, so a placement-
+    dependent leak into the budget maths shows up as an exact-equality
+    failure here.
+    """
+
+    name = "type-permutation-dark-invariance"
+    description = (
+        "permuting tile placement leaves dark fraction and type counts "
+        "unchanged"
+    )
+    paper_claim = (
+        "the dark-silicon ratio is set by the power budget versus peak "
+        "demand, not by the floorplan (E11 hetero family)"
+    )
+
+    def configs(self, base):
+        names = _resolved_type_names(base)
+        if len(set(names)) == 1:
+            # A homogeneous base is uninformative; mix the catalog over
+            # the mesh deterministically so permutations can differ.
+            cycle = ("std", "io", "o3", "accel")
+            names = [cycle[i % len(cycle)] for i in range(len(names))]
+        half = len(names) // 2
+        grids = [
+            names,
+            list(reversed(names)),
+            names[half:] + names[:half],
+            names[1:] + names[:1],
+        ]
+        return [replace(base, type_grid=tuple(g)) for g in grids]
+
+    def observe(self, result):
+        config = result.config
+        names = _resolved_type_names(config)
+        counts: Dict[str, int] = {}
+        for name in names:
+            counts[name] = counts.get(name, 0) + 1
+        return {
+            "counts": tuple(sorted(counts.items())),
+            "dark": _dark_fraction_of(config),
+        }
+
+    def check(self, samples):
+        failures = []
+        reference = samples[0] if samples else None
+        for sample in samples[1:]:
+            if sample["counts"] != reference["counts"]:
+                failures.append(
+                    f"type counts changed under permutation: "
+                    f"{reference['counts']} vs {sample['counts']}"
+                )
+            if sample["dark"] != reference["dark"]:
+                failures.append(
+                    f"dark fraction moved under permutation: "
+                    f"{reference['dark']!r} vs {sample['dark']!r}"
+                )
+        return failures
+
+
+class AccelCountDarkMonotonic(MetamorphicRelation):
+    """More accelerator tiles cannot shrink the dark fraction.
+
+    An ``accel`` tile's peak power exceeds ``std``'s under every
+    registered technology model and node (its 2.5x dynamic scale
+    dominates the 0.5x leakage discount), so swapping std tiles for
+    accelerators raises peak demand against a fixed TDP: the dark
+    fraction is non-decreasing in the accelerator count, and always a
+    valid fraction in [0, 1].
+    """
+
+    name = "accel-count-dark-monotonic"
+    description = (
+        "swapping std tiles for accel tiles => dark fraction "
+        "non-decreasing, always in [0, 1]"
+    )
+    paper_claim = (
+        "hotter tile mixes darken the chip at fixed TDP (dark-silicon "
+        "premise, E11 hetero family)"
+    )
+
+    def configs(self, base):
+        n_cores = base.width * base.height
+        counts = sorted({0, n_cores // 4, n_cores // 2, n_cores})
+        grids = [
+            tuple(["accel"] * k + ["std"] * (n_cores - k)) for k in counts
+        ]
+        return [replace(base, type_grid=grid) for grid in grids]
+
+    def observe(self, result):
+        config = result.config
+        return {
+            "n_accel": _resolved_type_names(config).count("accel"),
+            "dark": _dark_fraction_of(config),
+        }
+
+    def check(self, samples):
+        failures = []
+        for sample in samples:
+            if not 0.0 <= sample["dark"] <= 1.0:
+                failures.append(
+                    f"dark fraction {sample['dark']!r} outside [0, 1] at "
+                    f"{sample['n_accel']} accel tile(s)"
+                )
+        ordered = sorted(samples, key=lambda s: s["n_accel"])
+        for lo, hi in zip(ordered, ordered[1:]):
+            if hi["dark"] < lo["dark"]:
+                failures.append(
+                    f"dark fraction dropped from {lo['dark']!r} at "
+                    f"{lo['n_accel']} accel tile(s) to {hi['dark']!r} at "
+                    f"{hi['n_accel']}"
+                )
+        return failures
+
+
+class TypedZeroHazardTypedZeroFaults(MetamorphicRelation):
+    """Tiles of a zero-hazard type never fault, even on a faulting chip.
+
+    Registers a ``canary`` control type through the pluggable catalog
+    (std scales, ``fault_hazard_scale = 0``) and interleaves it with
+    ``o3`` tiles: the o3 tiles may fault freely, but a fault record on a
+    canary tile means the per-type hazard scaling leaked.  The zero
+    scale keeps the per-core RNG draw (one Bernoulli per core per
+    hazard step) so the other tiles' fault streams stay aligned with
+    their homogeneous counterparts.
+    """
+
+    name = "typed-zero-hazard-typed-zero-faults"
+    description = (
+        "a zero-hazard tile type records zero faults while other types "
+        "may fault"
+    )
+    paper_claim = (
+        "per-type fault processes are independent; detections trace to "
+        "their tile (E8 soundness, E11 hetero family)"
+    )
+
+    def __init__(self, seeds: Sequence[int] = (11, 23)) -> None:
+        if not seeds:
+            raise ValueError("need >= 1 seed")
+        self.seeds = tuple(seeds)
+
+    @staticmethod
+    def _ensure_canary():
+        from repro.platform.coretypes import (
+            CORE_TYPES,
+            CoreType,
+            register_core_type,
+        )
+
+        if "canary" not in CORE_TYPES:
+            register_core_type(
+                CoreType(
+                    name="canary",
+                    description=(
+                        "zero-hazard control tile for the metamorphic "
+                        "relation suite"
+                    ),
+                    fault_hazard_scale=0.0,
+                )
+            )
+
+    def configs(self, base):
+        self._ensure_canary()
+        n_cores = base.width * base.height
+        grid = tuple(
+            "canary" if i % 2 == 0 else "o3" for i in range(n_cores)
+        )
+        return [
+            replace(base, type_grid=grid, seed=seed) for seed in self.seeds
+        ]
+
+    def observe(self, result):
+        names = _resolved_type_names(result.config)
+        canary_faults = sorted(
+            record.core_id
+            for record in result.fault_records
+            if names[record.core_id] == "canary"
+        )
+        return {
+            "seed": result.config.seed,
+            "canary_faults": canary_faults,
+            "n_faults": len(result.fault_records),
+        }
+
+    def check(self, samples):
+        failures = []
+        for sample in samples:
+            if sample["canary_faults"]:
+                failures.append(
+                    f"seed {sample['seed']}: zero-hazard canary tiles "
+                    f"{sample['canary_faults']} recorded fault(s) "
+                    f"({sample['n_faults']} total on chip)"
+                )
+        return failures
+
+
+def hetero_relations() -> List[MetamorphicRelation]:
+    """Fresh instances of the heterogeneous-platform relation catalog.
+
+    Kept separate from :func:`default_relations` so homogeneous
+    campaign verification keeps its pre-heterogeneity run count; the
+    E11 experiment family checks both catalogs.
+    """
+    return [
+        TypePermutationDarkInvariance(),
+        AccelCountDarkMonotonic(),
+        TypedZeroHazardTypedZeroFaults(),
+    ]
+
+
 def default_relations() -> List[MetamorphicRelation]:
     """Fresh instances of the full relation catalog."""
     return [
@@ -303,6 +556,9 @@ RELATIONS: Dict[str, Callable[[], MetamorphicRelation]] = {
         SeedPermutationInvariance,
         LevelDomainCoverage,
         NoTestPolicyZeroTests,
+        TypePermutationDarkInvariance,
+        AccelCountDarkMonotonic,
+        TypedZeroHazardTypedZeroFaults,
     )
 }
 

@@ -29,6 +29,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.journal import Journal, JournalEvent, events_of
 from repro.platform.core import CoreState
+from repro.platform.coretypes import get_core_type
+from repro.platform.techmodel import get_tech_model
 from repro.platform.technology import get_node
 from repro.verify.invariants import LEGAL_TRANSITIONS
 
@@ -84,12 +86,17 @@ def _recompute(
     gated_leak_fraction: float,
     default_activity: float,
     cores: List,
+    tech_model=None,
+    core_types: Optional[List] = None,
 ) -> Tuple[float, float, float]:
     """One epoch's (workload, test, leakage) from a ``verify.cores`` payload.
 
     Accumulates in ascending core-id order through the *unmemoized*
     analytic model — the reference full scan's float order — so the
-    result is bit-comparable to the live meter.
+    result is bit-comparable to the live meter.  A heterogeneous journal
+    additionally declares its technology model and per-core types
+    (``tech_model`` / ``core_types``); degenerate journals carry neither
+    and replay through the plain node model, exactly as before.
     """
     workload = 0.0
     test = 0.0
@@ -97,9 +104,17 @@ def _recompute(
     for core_id, entry in enumerate(cores):
         code, level_index, activity = entry
         vdd, f_mhz = vf_levels[level_index]
+        ctype = (
+            core_types[core_id]
+            if core_types is not None and tech_model is not None
+            else None
+        )
         if code in ("b", "t"):
             act = activity if activity is not None else default_activity
-            dyn = node.dynamic_power(vdd, f_mhz, act)
+            if ctype is not None:
+                dyn = tech_model.dynamic_power(node, ctype, vdd, f_mhz, act)
+            else:
+                dyn = node.dynamic_power(vdd, f_mhz, act)
             if code == "b":
                 workload += dyn
             else:
@@ -111,7 +126,11 @@ def _recompute(
         if code == "f":
             leak = 0.0
         else:
-            leak = node.leakage_power(vdd) * leak_factors[core_id]
+            if ctype is not None:
+                base = tech_model.leakage_power(node, ctype, vdd)
+            else:
+                base = node.leakage_power(vdd)
+            leak = base * leak_factors[core_id]
             if code == "i":
                 leak = leak * gated_leak_fraction
         leakage += leak
@@ -148,6 +167,17 @@ def replay_journal(source, tolerance_w: float = 1e-9) -> ReplayReport:
                     "gated_leak_fraction": float(data["gated_leak_fraction"]),
                     "default_activity": float(data["default_activity"]),
                     "n_cores": int(data["width"]) * int(data["height"]),
+                    # Hetero-only keys (absent in degenerate journals).
+                    "tech_model": (
+                        get_tech_model(str(data["tech_model"]))
+                        if "tech_model" in data
+                        else None
+                    ),
+                    "core_types": (
+                        [get_core_type(str(n)) for n in data["core_types"]]
+                        if "core_types" in data
+                        else None
+                    ),
                 }
                 node = get_node(str(data["node"]))
             elif event.type == "verify.cores":
@@ -181,6 +211,8 @@ def replay_journal(source, tolerance_w: float = 1e-9) -> ReplayReport:
                     platform["gated_leak_fraction"],
                     platform["default_activity"],
                     cores,
+                    tech_model=platform["tech_model"],
+                    core_types=platform["core_types"],
                 )
                 report.ticks_checked += 1
                 for channel, value in zip(_CHANNELS, replayed):

@@ -1,12 +1,39 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and config factories for the test suite."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.core.system import SystemConfig
 from repro.platform.chip import Chip
 from repro.platform.technology import get_node
 from repro.sim.engine import Simulator
+
+#: The 4x4/16nm/25W workload most integration tests share.  Keeping one
+#: definition here stops the per-file copies from drifting apart; tests
+#: override only what they actually vary.
+SMALL_SYSTEM_BASE = dict(
+    width=4,
+    height=4,
+    node_name="16nm",
+    tdp_w=25.0,
+    arrival_rate_per_ms=10.0,
+    min_test_interval_us=1_000.0,
+)
+
+
+def small_system_config(**overrides) -> SystemConfig:
+    """A :class:`SystemConfig` on the shared small 4x4 workload."""
+    merged = dict(SMALL_SYSTEM_BASE)
+    merged.update(overrides)
+    return SystemConfig(**merged)
+
+
+def small_sweep_base(**overrides) -> dict:
+    """The tiny 2x2 base *dict* the serve/sweep request tests layer on."""
+    merged = {"width": 2, "height": 2, "horizon_us": 1_500.0}
+    merged.update(overrides)
+    return merged
 
 
 @pytest.fixture

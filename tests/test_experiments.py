@@ -33,7 +33,7 @@ def check_shape(result: ExperimentResult, experiment_id: str):
 
 
 def test_registry_contains_all_experiments():
-    expected = {f"E{i}" for i in range(1, 11)} | {f"A{i}" for i in range(1, 9)}
+    expected = {f"E{i}" for i in range(1, 12)} | {f"A{i}" for i in range(1, 9)}
     assert set(EXPERIMENTS) == expected
 
 

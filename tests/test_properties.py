@@ -120,14 +120,11 @@ def test_dvfs_retiming_conserves_work(seed, switches):
 @given(st.integers(min_value=0, max_value=10_000))
 def test_full_system_invariants_hold(seed):
     """Short full-system runs keep their conservation invariants."""
-    from repro.core.system import ManycoreSystem, SystemConfig
+    from tests.conftest import small_system_config
+    from repro.core.system import ManycoreSystem
 
-    config = SystemConfig(
-        width=4,
-        height=4,
-        tdp_w=25.0,
+    config = small_system_config(
         horizon_us=4_000.0,
-        arrival_rate_per_ms=10.0,
         profile_names=("small",),
         profile_weights=(1.0,),
         seed=seed,

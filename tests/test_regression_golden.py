@@ -13,17 +13,13 @@ from repro.core.system import SystemConfig, run_system
 from repro.obs.journal import Journal
 from repro.obs.provenance import digest_of
 
-GOLDEN_CONFIG = SystemConfig(
-    width=4,
-    height=4,
-    node_name="16nm",
-    tdp_w=25.0,
+from tests.conftest import small_system_config
+
+GOLDEN_CONFIG = small_system_config(
     horizon_us=8_000.0,
-    arrival_rate_per_ms=10.0,
     profile_names=("small",),
     profile_weights=(1.0,),
     seed=1234,
-    min_test_interval_us=1_000.0,
 )
 
 

@@ -50,7 +50,9 @@ from repro.serve import (
 )
 from repro.serve.protocol import CampaignRequest
 
-SMALL = {"width": 2, "height": 2, "horizon_us": 1500.0}
+from tests.conftest import small_sweep_base
+
+SMALL = small_sweep_base()
 
 
 def run_async(coro):

@@ -46,16 +46,9 @@ from repro.verify import (
     verify_config,
 )
 
-SMALL = SystemConfig(
-    width=4,
-    height=4,
-    node_name="16nm",
-    tdp_w=25.0,
-    horizon_us=6_000.0,
-    arrival_rate_per_ms=10.0,
-    seed=7,
-    min_test_interval_us=1_000.0,
-)
+from tests.conftest import small_system_config
+
+SMALL = small_system_config(horizon_us=6_000.0, seed=7)
 
 
 def _digest(result):
